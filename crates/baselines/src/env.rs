@@ -1,0 +1,76 @@
+//! The shared evaluation environment and model trait.
+
+use kglink_core::pipeline::Resources;
+use kglink_kg::EntityId;
+use kglink_table::{Dataset, EvalSummary, LabelId, LabelVocab, Split, Table};
+use std::collections::HashMap;
+
+/// Everything a baseline may consume: KG + search + tokenizer (via
+/// [`Resources`]), the label vocabulary, and the dataset-label → KG-type
+/// mapping (used by MTab; the paper translates VizNet labels to WikiData
+/// entities for it).
+pub struct BenchEnv<'a> {
+    pub resources: &'a Resources<'a>,
+    pub labels: &'a LabelVocab,
+    pub label_to_type: &'a HashMap<LabelId, EntityId>,
+}
+
+/// A column type annotation model, as the experiment harness sees it.
+pub trait CtaModel {
+    /// Display name (used in result tables).
+    fn name(&self) -> &'static str;
+
+    /// Train on the dataset's train split (validation split available for
+    /// early stopping). No-op for learning-free methods.
+    fn fit(&mut self, env: &BenchEnv<'_>, dataset: &Dataset);
+
+    /// Predict one label per column of a raw table.
+    fn predict_table(&self, env: &BenchEnv<'_>, table: &Table) -> Vec<LabelId>;
+
+    /// Evaluate over a dataset split.
+    fn evaluate(&self, env: &BenchEnv<'_>, dataset: &Dataset, split: Split) -> EvalSummary {
+        let mut preds = Vec::new();
+        let mut truths = Vec::new();
+        for t in dataset.tables_in(split) {
+            preds.extend(self.predict_table(env, t));
+            truths.extend(t.labels.iter().copied());
+        }
+        EvalSummary::compute(&preds, &truths)
+    }
+}
+
+/// Majority label of a dataset's training columns — the shared fallback for
+/// methods that cannot produce a prediction (e.g. MTab on numeric columns).
+pub fn train_majority_label(dataset: &Dataset) -> LabelId {
+    let hist = dataset.label_histogram(Split::Train);
+    hist.into_iter()
+        .max_by_key(|&(l, c)| (c, std::cmp::Reverse(l)))
+        .map(|(l, _)| l)
+        .unwrap_or(LabelId(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kglink_table::{CellValue, SplitSpec, Table, TableId};
+
+    #[test]
+    fn majority_label_is_most_frequent_training_label() {
+        let mut vocab = LabelVocab::new();
+        let a = vocab.intern("a");
+        let b = vocab.intern("b");
+        let mut tables = Vec::new();
+        for i in 0..10u32 {
+            let l = if i < 7 { a } else { b };
+            tables.push(Table::new(
+                TableId(i),
+                vec![],
+                vec![vec![CellValue::Text("x".into())]],
+                vec![l],
+            ));
+        }
+        let mut ds = Dataset::new("toy", tables, vocab);
+        ds.assign_splits(SplitSpec::default(), 3);
+        assert_eq!(train_majority_label(&ds), a);
+    }
+}

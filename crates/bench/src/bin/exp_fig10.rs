@@ -1,0 +1,38 @@
+//! Figure 10 — the row filter size k: weighted F1 and wall-clock time for
+//! k ∈ {small, medium, large, all}.
+//!
+//! Paper reference: optimal prediction at a middle k (25 of 64 encodable
+//! rows there) — more rows add noise, fewer rows lose evidence — and time
+//! grows with k. The reproduction's tables are smaller, so the sweep is
+//! scaled to k ∈ {2, 4, 8, 16, all}.
+
+use kglink_bench::{print_markdown, run_kglink, ExpEnv, Which};
+
+fn main() {
+    let env = ExpEnv::load();
+    let mut rows = Vec::new();
+    for which in [Which::SemTab, Which::VizNet] {
+        for &k in &[2usize, 4, 8, 16, usize::MAX] {
+            let mut config = env.kglink_config(which);
+            config.top_k_rows = k;
+            let label = if k == usize::MAX {
+                "all".to_string()
+            } else {
+                k.to_string()
+            };
+            let (r, _, _) = run_kglink(&env, which, config, &format!("KGLink k={label}"));
+            rows.push(vec![
+                which.name().to_string(),
+                label,
+                format!("{:.2}", r.summary.weighted_f1_pct()),
+                format!("{:.2}", r.summary.accuracy_pct()),
+                format!("{:.1}", r.fit_seconds + r.predict_seconds),
+            ]);
+        }
+    }
+    print_markdown(
+        "Figure 10 — weighted F1 and time with varying k (measured)",
+        &["Dataset", "k", "Weighted F1", "Accuracy", "Total time (s)"],
+        &rows,
+    );
+}

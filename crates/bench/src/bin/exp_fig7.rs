@@ -1,0 +1,37 @@
+//! Figure 7 — end-to-end runtime of every method on the VizNet-like
+//! benchmark (fit + predict wall-clock).
+//!
+//! The paper's Figure 7 is a bar chart of total runtime on VizNet; the
+//! reported shape is that KGLink stays in the same order of magnitude as
+//! the other PLM methods while RECA's inter-table search grows fastest
+//! (the paper stresses KGLink's linear complexity vs. RECA's table-count
+//! sensitivity).
+
+use kglink_bench::{baseline_registry, print_markdown, run_baseline, run_kglink, ExpEnv, Which};
+
+fn main() {
+    let env = ExpEnv::load();
+    let which = Which::VizNet;
+    let mut rows = Vec::new();
+    for mut model in baseline_registry(&env, which) {
+        let r = run_baseline(&env, model.as_mut(), which);
+        rows.push(vec![
+            r.model,
+            format!("{:.1}", r.fit_seconds),
+            format!("{:.1}", r.predict_seconds),
+            format!("{:.1}", r.fit_seconds + r.predict_seconds),
+        ]);
+    }
+    let (r, _, _) = run_kglink(&env, which, env.kglink_config(which), "KGLink");
+    rows.push(vec![
+        r.model,
+        format!("{:.1}", r.fit_seconds),
+        format!("{:.1}", r.predict_seconds),
+        format!("{:.1}", r.fit_seconds + r.predict_seconds),
+    ]);
+    print_markdown(
+        "Figure 7 — runtime on VizNet-like (measured, seconds)",
+        &["Model", "Fit (s)", "Predict (s)", "Total (s)"],
+        &rows,
+    );
+}

@@ -1,0 +1,303 @@
+//! Part 1, Step 2: entity pruning and the row filter (paper Eq. 3–6).
+
+use crate::config::RowFilter;
+use crate::linking::LinkedTable;
+use kglink_kg::{EntityId, KnowledgeGraph};
+use kglink_table::Table;
+use std::collections::HashMap;
+
+/// A candidate entity that survived pruning.
+#[derive(Debug, Clone, Copy)]
+pub struct PrunedEntity {
+    pub entity: EntityId,
+    /// BM25 linking score from Step 1.
+    pub linking_score: f32,
+    /// Overlapping score (Eq. 6): how many times this entity appears in the
+    /// one-hop neighborhoods of candidate entities from *other* columns of
+    /// the same row. Zero for fallback entities.
+    pub overlap_score: u32,
+}
+
+/// The pruned candidate set `Ê` of one cell.
+#[derive(Debug, Clone, Default)]
+pub struct PrunedCell {
+    /// Entities of `Ê`, best linking score first.
+    pub entities: Vec<PrunedEntity>,
+    /// True when the intersection of Eq. 3 was empty and the best raw
+    /// candidate was kept instead (overlap score 0). The paper's formulas
+    /// leave this case implicit; keeping the best entity preserves the
+    /// feature-vector coverage reported in their Table III (SemTab has no
+    /// columns without feature-vector information despite imperfect
+    /// overlap).
+    pub fallback: bool,
+}
+
+impl PrunedCell {
+    /// Cell linking score (Eq. 4): max over the pruned set.
+    pub fn linking_score(&self) -> f32 {
+        self.entities
+            .iter()
+            .map(|e| e.linking_score)
+            .fold(0.0, f32::max)
+    }
+
+    /// The entity with the best linking score, if any.
+    pub fn best_entity(&self) -> Option<PrunedEntity> {
+        self.entities
+            .iter()
+            .copied()
+            .max_by(|a, b| a.linking_score.partial_cmp(&b.linking_score).unwrap())
+    }
+}
+
+/// The output of Step 2: a row-filtered table with pruned candidate sets.
+#[derive(Debug, Clone)]
+pub struct FilteredTable {
+    /// Top-k rows of the original table, in filter order.
+    pub table: Table,
+    /// `cells[c][r]` aligned with `table`.
+    pub cells: Vec<Vec<PrunedCell>>,
+    /// Original row indices that were kept, in kept order.
+    pub row_order: Vec<usize>,
+    /// Row linking scores (Eq. 5) of the kept rows.
+    pub row_scores: Vec<f32>,
+}
+
+/// Prune candidate entity sets with the one-hop-intersection rule (Eq. 3),
+/// compute overlapping scores (Eq. 6), and keep the top-`k` rows by row
+/// linking score (Eq. 4–5) — or the first `k` rows when `row_filter` is
+/// [`RowFilter::Original`] (the Table V baseline).
+pub fn prune_and_filter(
+    table: &Table,
+    linked: &LinkedTable,
+    graph: &KnowledgeGraph,
+    k: usize,
+    row_filter: RowFilter,
+) -> FilteredTable {
+    let n_rows = table.n_rows();
+    let n_cols = table.n_cols();
+    let mut one_hop_cache: HashMap<EntityId, Vec<EntityId>> = HashMap::new();
+    let mut hop = |e: EntityId| -> Vec<EntityId> {
+        one_hop_cache
+            .entry(e)
+            .or_insert_with(|| graph.one_hop(e))
+            .clone()
+    };
+
+    // Prune every cell row by row.
+    let mut pruned: Vec<Vec<PrunedCell>> = vec![vec![PrunedCell::default(); n_rows]; n_cols];
+    let mut row_scores = vec![0.0f32; n_rows];
+    for r in 0..n_rows {
+        // Per column: multiset of one-hop neighbors of all candidates.
+        let neighbor_counts: Vec<HashMap<EntityId, u32>> = (0..n_cols)
+            .map(|c| {
+                let mut counts: HashMap<EntityId, u32> = HashMap::new();
+                for &(e, _) in &linked.cell(r, c).candidates {
+                    for n in hop(e) {
+                        *counts.entry(n).or_insert(0) += 1;
+                    }
+                }
+                counts
+            })
+            .collect();
+        for c1 in 0..n_cols {
+            let link = linked.cell(r, c1);
+            if link.candidates.is_empty() {
+                continue;
+            }
+            let mut kept: Vec<PrunedEntity> = Vec::new();
+            for &(e, ls) in &link.candidates {
+                // Eq. 3 / Eq. 6: membership count across other columns.
+                let os: u32 = (0..n_cols)
+                    .filter(|&c2| c2 != c1)
+                    .map(|c2| neighbor_counts[c2].get(&e).copied().unwrap_or(0))
+                    .sum();
+                if os > 0 {
+                    kept.push(PrunedEntity {
+                        entity: e,
+                        linking_score: ls,
+                        overlap_score: os,
+                    });
+                }
+            }
+            let fallback = kept.is_empty();
+            if fallback {
+                // Keep the single best raw candidate with zero overlap.
+                let &(e, ls) = &link.candidates[0];
+                kept.push(PrunedEntity {
+                    entity: e,
+                    linking_score: ls,
+                    overlap_score: 0,
+                });
+            }
+            kept.sort_by(|a, b| b.linking_score.partial_cmp(&a.linking_score).unwrap());
+            let cell = PrunedCell {
+                entities: kept,
+                fallback,
+            };
+            row_scores[r] += cell.linking_score();
+            pruned[c1][r] = cell;
+        }
+    }
+
+    // Row selection.
+    let keep = k.min(n_rows).max(usize::from(n_rows > 0));
+    let row_order: Vec<usize> = match row_filter {
+        RowFilter::LinkScore => {
+            let mut idx: Vec<usize> = (0..n_rows).collect();
+            // Stable ordering: score descending, then original index.
+            idx.sort_by(|&a, &b| {
+                row_scores[b]
+                    .partial_cmp(&row_scores[a])
+                    .unwrap()
+                    .then(a.cmp(&b))
+            });
+            idx.truncate(keep);
+            idx
+        }
+        RowFilter::Original => (0..keep.min(n_rows)).collect(),
+    };
+
+    let filtered_table = table.select_rows(&row_order);
+    let cells: Vec<Vec<PrunedCell>> = (0..n_cols)
+        .map(|c| row_order.iter().map(|&r| pruned[c][r].clone()).collect())
+        .collect();
+    let kept_scores: Vec<f32> = row_order.iter().map(|&r| row_scores[r]).collect();
+    FilteredTable {
+        table: filtered_table,
+        cells,
+        row_order,
+        row_scores: kept_scores,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kglink_kg::{Entity, KgBuilder, NeSchema};
+    use kglink_search::EntitySearcher;
+    use kglink_table::{CellValue, LabelId, TableId};
+
+    /// Build the paper's Figure 5 situation: album "Rust" performed by
+    /// "Peter Steele", plus an unrelated city "Rustville" that also matches
+    /// the mention "Rust".
+    fn figure5() -> (kglink_kg::KnowledgeGraph, Table, EntityId, EntityId) {
+        let mut b = KgBuilder::new();
+        let musician = b.add_type("Musician", None);
+        let album_ty = b.add_type("Album", None);
+        let city_ty = b.add_type("City", None);
+        let steele = b.add_instance(Entity::new("Peter Steele", NeSchema::Person), musician);
+        let rust_album = b.add_instance(Entity::new("Rust", NeSchema::Work), album_ty);
+        let _rust_city = b.add_instance(Entity::new("Rust", NeSchema::Place), city_ty);
+        let performer = b.predicate("performer");
+        b.relate(rust_album, performer, steele);
+        let g = b.build();
+        let table = Table::new(
+            TableId(0),
+            vec![],
+            vec![
+                vec![CellValue::parse("Rust")],
+                vec![CellValue::parse("Peter Steele")],
+            ],
+            vec![LabelId(0), LabelId(1)],
+        );
+        (g, table, rust_album, steele)
+    }
+
+    #[test]
+    fn overlap_disambiguates_figure5() {
+        let (g, table, rust_album, steele) = figure5();
+        let searcher = EntitySearcher::build(&g);
+        let linked = LinkedTable::link(&table, &searcher, 10);
+        // Both Rust entities are retrieved for the ambiguous mention.
+        assert!(linked.cell(0, 0).candidates.len() >= 2);
+        let filtered = prune_and_filter(&table, &linked, &g, 10, RowFilter::LinkScore);
+        // The album survives pruning with positive overlap (its neighbor
+        // Peter Steele is a candidate of column 1); the city falls back out.
+        let cell = &filtered.cells[0][0];
+        assert!(!cell.fallback);
+        assert_eq!(cell.entities.len(), 1);
+        assert_eq!(cell.entities[0].entity, rust_album);
+        assert!(cell.entities[0].overlap_score > 0);
+        // Symmetric for Peter Steele.
+        let cell1 = &filtered.cells[1][0];
+        assert!(cell1.entities.iter().any(|e| e.entity == steele && e.overlap_score > 0));
+    }
+
+    #[test]
+    fn fallback_keeps_best_raw_candidate() {
+        let mut b = KgBuilder::new();
+        let city_ty = b.add_type("City", None);
+        b.add_instance(Entity::new("Springfield", NeSchema::Place), city_ty);
+        let g = b.build();
+        // Single linkable column: no other column to overlap with.
+        let table = Table::new(
+            TableId(0),
+            vec![],
+            vec![vec![CellValue::parse("Springfield")]],
+            vec![LabelId(0)],
+        );
+        let searcher = EntitySearcher::build(&g);
+        let linked = LinkedTable::link(&table, &searcher, 10);
+        let filtered = prune_and_filter(&table, &linked, &g, 5, RowFilter::LinkScore);
+        let cell = &filtered.cells[0][0];
+        assert!(cell.fallback);
+        assert_eq!(cell.entities.len(), 1);
+        assert_eq!(cell.entities[0].overlap_score, 0);
+        assert!(cell.linking_score() > 0.0);
+    }
+
+    #[test]
+    fn top_k_keeps_best_rows() {
+        let mut b = KgBuilder::new();
+        let city_ty = b.add_type("City", None);
+        let country_ty = b.add_type("Country", None);
+        let norland = b.add_instance(Entity::new("Norland", NeSchema::Place), country_ty);
+        let spring = b.add_instance(Entity::new("Springfield", NeSchema::Place), city_ty);
+        let located = b.predicate("country");
+        b.relate(spring, located, norland);
+        let g = b.build();
+        let table = Table::new(
+            TableId(0),
+            vec![],
+            vec![
+                vec![
+                    CellValue::parse("Nowhere Qqq"),
+                    CellValue::parse("Springfield"),
+                ],
+                vec![CellValue::parse("Zzz Yyy"), CellValue::parse("Norland")],
+            ],
+            vec![LabelId(0), LabelId(1)],
+        );
+        let searcher = EntitySearcher::build(&g);
+        let linked = LinkedTable::link(&table, &searcher, 10);
+        let filtered = prune_and_filter(&table, &linked, &g, 1, RowFilter::LinkScore);
+        assert_eq!(filtered.table.n_rows(), 1);
+        // Row 1 (Springfield/Norland) links; row 0 does not — row 1 wins.
+        assert_eq!(filtered.row_order, vec![1]);
+        assert!(filtered.row_scores[0] > 0.0);
+        // The filtered table's cells moved accordingly.
+        assert_eq!(
+            filtered.table.cell(0, 0),
+            &CellValue::Text("Springfield".into())
+        );
+    }
+
+    #[test]
+    fn original_filter_preserves_order() {
+        let (g, table, ..) = figure5();
+        let searcher = EntitySearcher::build(&g);
+        let linked = LinkedTable::link(&table, &searcher, 10);
+        let filtered = prune_and_filter(&table, &linked, &g, 1, RowFilter::Original);
+        assert_eq!(filtered.row_order, vec![0]);
+    }
+
+    #[test]
+    fn k_larger_than_rows_keeps_all() {
+        let (g, table, ..) = figure5();
+        let searcher = EntitySearcher::build(&g);
+        let linked = LinkedTable::link(&table, &searcher, 10);
+        let filtered = prune_and_filter(&table, &linked, &g, 100, RowFilter::LinkScore);
+        assert_eq!(filtered.table.n_rows(), table.n_rows());
+    }
+}

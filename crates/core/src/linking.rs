@@ -1,0 +1,169 @@
+//! Part 1, Step 1: table cell mention linking (paper Eq. 1–2).
+
+use kglink_kg::EntityId;
+use kglink_search::EntitySearcher;
+use kglink_table::{MentionKind, Table};
+
+/// KG linkage of a single cell.
+#[derive(Debug, Clone)]
+pub struct CellLink {
+    /// Named-entity-schema verdict for the cell.
+    pub kind: MentionKind,
+    /// Retrieved candidate entities with BM25 linking scores, best first.
+    /// Empty for numeric/date/empty cells (their linking score is 0 by the
+    /// paper's rule) and for mentions with no KG match.
+    pub candidates: Vec<(EntityId, f32)>,
+}
+
+impl CellLink {
+    /// The cell's raw linking score before entity pruning: the best
+    /// candidate's BM25 score, or 0.
+    pub fn best_score(&self) -> f32 {
+        self.candidates.first().map_or(0.0, |&(_, s)| s)
+    }
+
+    /// Whether any KG entity was retrieved.
+    pub fn is_linked(&self) -> bool {
+        !self.candidates.is_empty()
+    }
+}
+
+/// The linked form of a table: one [`CellLink`] per cell, column-major.
+#[derive(Debug, Clone)]
+pub struct LinkedTable {
+    /// `cells[c][r]` aligns with `table.columns[c][r]`.
+    pub cells: Vec<Vec<CellLink>>,
+}
+
+impl LinkedTable {
+    /// Link every cell of `table` against the KG through `searcher`,
+    /// retrieving up to `max_entities` candidates per mention.
+    ///
+    /// Cells the named-entity schema classifies as numeric or date are
+    /// assigned a linking score of 0 (no retrieval) — the paper: "For
+    /// instances where the cell mention corresponds to a number or a date,
+    /// it is inappropriate to link it to the KG."
+    pub fn link(table: &Table, searcher: &EntitySearcher, max_entities: usize) -> Self {
+        let cells = table
+            .columns
+            .iter()
+            .map(|col| {
+                col.iter()
+                    .map(|cell| {
+                        let kind = cell.mention_kind();
+                        let candidates = if kind == MentionKind::Entity {
+                            searcher.link_mention(&cell.surface(), max_entities)
+                        } else {
+                            Vec::new()
+                        };
+                        CellLink { kind, candidates }
+                    })
+                    .collect()
+            })
+            .collect();
+        LinkedTable { cells }
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.cells.first().map_or(0, Vec::len)
+    }
+
+    /// The link record of `(row, col)`.
+    pub fn cell(&self, row: usize, col: usize) -> &CellLink {
+        &self.cells[col][row]
+    }
+
+    /// Fraction of linkable cells that retrieved at least one entity.
+    pub fn linkage_rate(&self) -> f64 {
+        let mut linkable = 0usize;
+        let mut linked = 0usize;
+        for col in &self.cells {
+            for cell in col {
+                if cell.kind == MentionKind::Entity {
+                    linkable += 1;
+                    if cell.is_linked() {
+                        linked += 1;
+                    }
+                }
+            }
+        }
+        if linkable == 0 {
+            0.0
+        } else {
+            linked as f64 / linkable as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kglink_kg::{Entity, KgBuilder, NeSchema};
+    use kglink_table::{CellValue, LabelId, TableId};
+
+    fn setup() -> (kglink_kg::KnowledgeGraph, Table) {
+        let mut b = KgBuilder::new();
+        let musician = b.add_type("Musician", None);
+        b.add_instance(Entity::new("Peter Steele", NeSchema::Person), musician);
+        let g = b.build();
+        let table = Table::new(
+            TableId(0),
+            vec![],
+            vec![
+                vec![
+                    CellValue::parse("Peter Steele"),
+                    CellValue::parse("Unknown Nobody Xyz"),
+                ],
+                vec![CellValue::parse("1990"), CellValue::parse("42")],
+            ],
+            vec![LabelId(0), LabelId(1)],
+        );
+        (g, table)
+    }
+
+    #[test]
+    fn linkable_cells_retrieve_entities() {
+        let (g, table) = setup();
+        let searcher = EntitySearcher::build(&g);
+        let linked = LinkedTable::link(&table, &searcher, 5);
+        assert!(linked.cell(0, 0).is_linked());
+        assert!(linked.cell(0, 0).best_score() > 0.0);
+    }
+
+    #[test]
+    fn numeric_and_date_cells_get_zero_score() {
+        let (g, table) = setup();
+        let searcher = EntitySearcher::build(&g);
+        let linked = LinkedTable::link(&table, &searcher, 5);
+        // Column 1 holds a year (date) and a number.
+        assert_eq!(linked.cell(0, 1).kind, MentionKind::Date);
+        assert_eq!(linked.cell(1, 1).kind, MentionKind::Numeric);
+        assert_eq!(linked.cell(0, 1).best_score(), 0.0);
+        assert_eq!(linked.cell(1, 1).best_score(), 0.0);
+        assert!(!linked.cell(0, 1).is_linked());
+    }
+
+    #[test]
+    fn unmatched_mentions_stay_unlinked() {
+        let (g, table) = setup();
+        let searcher = EntitySearcher::build(&g);
+        let linked = LinkedTable::link(&table, &searcher, 5);
+        assert!(!linked.cell(1, 0).is_linked());
+        assert_eq!(linked.cell(1, 0).best_score(), 0.0);
+    }
+
+    #[test]
+    fn linkage_rate_counts_only_entity_cells() {
+        let (g, table) = setup();
+        let searcher = EntitySearcher::build(&g);
+        let linked = LinkedTable::link(&table, &searcher, 5);
+        // Two entity cells, one linked.
+        assert!((linked.linkage_rate() - 0.5).abs() < 1e-9);
+    }
+}

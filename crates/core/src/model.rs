@@ -1,0 +1,137 @@
+//! Part 2 model: encoder + vocabulary projection + classifier + composition.
+
+use crate::config::KgLinkConfig;
+use kglink_nn::layers::linear::Linear;
+use kglink_nn::layers::param::{HasParams, Param};
+use kglink_nn::{Encoder, MlmHead, Tensor, UncertaintyWeights};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The KGLink network.
+///
+/// * `encoder` — the shared PLM (MiniLM here, BERT in the paper);
+/// * `head` — `W_o`, the hidden→vocabulary projection used by the DMLM
+///   column-type representation generation task (Eq. 14);
+/// * `classifier` — the hidden→label projection for the annotation task;
+/// * `feature_proj` — the composition function `φ` (Eq. 15), implemented
+///   as `Y_col = Y_cls + W_f · Y_fv` with `φ` collapsing to identity when
+///   a column has no feature vector;
+/// * `uw` — the trainable uncertainty weights of the combined loss (Eq. 17).
+pub struct KgLinkModel {
+    pub encoder: Encoder,
+    pub head: MlmHead,
+    pub classifier: Linear,
+    pub feature_proj: Linear,
+    pub uw: UncertaintyWeights,
+    /// Whether the uncertainty weights are pinned (Figure 8(a) sweeps).
+    pub fixed_sigmas: bool,
+}
+
+impl KgLinkModel {
+    /// Build a model for `n_labels` classes on a `vocab_size` vocabulary.
+    pub fn new(config: &KgLinkConfig, vocab_size: usize, n_labels: usize) -> Self {
+        let enc_cfg = config.encoder_config(vocab_size);
+        let encoder = Encoder::new(enc_cfg);
+        let d = encoder.d_model();
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xbeef);
+        let classifier = Linear::new(d, n_labels, &mut rng);
+        let feature_proj = Linear::new(d, d, &mut rng);
+        let head = MlmHead::new(d, vocab_size, config.seed ^ 0xcafe);
+        let uw = match config.fixed_log_sigmas {
+            Some((s0, s1)) => UncertaintyWeights::fixed(s0, s1),
+            None => UncertaintyWeights::new(0.0),
+        };
+        KgLinkModel {
+            encoder,
+            head,
+            classifier,
+            feature_proj,
+            uw,
+            fixed_sigmas: config.fixed_log_sigmas.is_some(),
+        }
+    }
+
+    /// Compose a column representation from its `[CLS]` encoding and an
+    /// optional feature vector (inference path).
+    pub fn compose(&self, y_cls: &[f32], y_fv: Option<&[f32]>) -> Tensor {
+        let d = y_cls.len();
+        let mut y = Tensor::from_vec(1, d, y_cls.to_vec());
+        if let Some(fv) = y_fv {
+            let fv_t = Tensor::from_vec(1, d, fv.to_vec());
+            y.add_assign(&self.feature_proj.infer(&fv_t));
+        }
+        y
+    }
+
+    /// Class logits for a composed column representation.
+    pub fn classify(&self, y_col: &Tensor) -> Vec<f32> {
+        self.classifier.infer(y_col).data().to_vec()
+    }
+
+    /// Number of classes.
+    pub fn n_labels(&self) -> usize {
+        self.classifier.d_out()
+    }
+}
+
+impl HasParams for KgLinkModel {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.encoder.visit_params(f);
+        self.head.visit_params(f);
+        self.classifier.visit_params(f);
+        self.feature_proj.visit_params(f);
+        if !self.fixed_sigmas {
+            self.uw.visit_params(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> KgLinkModel {
+        let mut cfg = KgLinkConfig::fast_test();
+        cfg.seed = 7;
+        KgLinkModel::new(&cfg, 64, 5)
+    }
+
+    #[test]
+    fn shapes_are_consistent() {
+        let m = model();
+        assert_eq!(m.n_labels(), 5);
+        let d = m.encoder.d_model();
+        let y = m.compose(&vec![0.1; d], None);
+        assert_eq!(y.shape(), (1, d));
+        assert_eq!(m.classify(&y).len(), 5);
+    }
+
+    #[test]
+    fn composition_without_feature_is_identity() {
+        let m = model();
+        let d = m.encoder.d_model();
+        let cls = vec![0.3f32; d];
+        let y = m.compose(&cls, None);
+        assert_eq!(y.data(), &cls[..]);
+    }
+
+    #[test]
+    fn composition_with_feature_changes_representation() {
+        let m = model();
+        let d = m.encoder.d_model();
+        let cls = vec![0.3f32; d];
+        let fv = vec![1.0f32; d];
+        let with = m.compose(&cls, Some(&fv));
+        let without = m.compose(&cls, None);
+        assert_ne!(with.data(), without.data());
+    }
+
+    #[test]
+    fn fixed_sigmas_are_excluded_from_optimization() {
+        let mut cfg = KgLinkConfig::fast_test();
+        let mut trainable = KgLinkModel::new(&cfg, 64, 3);
+        cfg.fixed_log_sigmas = Some((0.5, 1.0));
+        let mut pinned = KgLinkModel::new(&cfg, 64, 3);
+        assert_eq!(trainable.param_count(), pinned.param_count() + 2);
+    }
+}

@@ -1,0 +1,244 @@
+//! The user-facing KGLink annotator API.
+
+use crate::config::KgLinkConfig;
+use crate::model::KgLinkModel;
+use crate::preprocess::{Preprocessor, ProcessedTable};
+use crate::train::{self, prepare_tables};
+pub use crate::train::TrainReport;
+use kglink_kg::KnowledgeGraph;
+use kglink_nn::layers::param::HasParams;
+use kglink_nn::serialize::load_params;
+use kglink_nn::{Tokenizer, Vocab};
+use kglink_search::EntitySearcher;
+use kglink_table::{Dataset, EvalSummary, LabelId, LabelVocab, Split, Table};
+
+/// Everything external a KGLink instance needs: the KG, its search index,
+/// the tokenizer, and (optionally) pre-trained MiniLM weights shared across
+/// the experiment grid.
+pub struct Resources<'a> {
+    pub graph: &'a KnowledgeGraph,
+    pub searcher: &'a EntitySearcher,
+    pub tokenizer: &'a Tokenizer,
+    /// Serialized encoder weights from MLM pre-training (the BERT
+    /// checkpoint stand-in). Loaded when the architecture matches.
+    pub pretrained_encoder: Option<&'a [u8]>,
+}
+
+impl<'a> Resources<'a> {
+    pub fn new(
+        graph: &'a KnowledgeGraph,
+        searcher: &'a EntitySearcher,
+        tokenizer: &'a Tokenizer,
+    ) -> Self {
+        Resources {
+            graph,
+            searcher,
+            tokenizer,
+            pretrained_encoder: None,
+        }
+    }
+
+    pub fn with_pretrained(mut self, blob: &'a [u8]) -> Self {
+        self.pretrained_encoder = Some(blob);
+        self
+    }
+}
+
+/// Build the shared vocabulary for a world + datasets: the MLM corpus plus
+/// label names, candidate-type vocabulary (KG labels/predicates are already
+/// in the corpus), and dataset cell text.
+pub fn build_vocab<'a>(
+    corpus: impl IntoIterator<Item = &'a str>,
+    datasets: &[&Dataset],
+    max_size: usize,
+) -> Vocab {
+    let mut texts: Vec<String> = corpus.into_iter().map(str::to_string).collect();
+    for ds in datasets {
+        for (_, name) in ds.labels.iter() {
+            texts.push(name.to_string());
+        }
+        for t in &ds.tables {
+            for col in &t.columns {
+                for cell in col {
+                    if let Some(s) = cell.as_text() {
+                        texts.push(s.to_string());
+                    }
+                }
+            }
+        }
+    }
+    Vocab::build(texts.iter().map(String::as_str), 1, max_size)
+}
+
+/// A trained KGLink annotator.
+pub struct KgLink {
+    pub config: KgLinkConfig,
+    pub model: KgLinkModel,
+    pub labels: LabelVocab,
+}
+
+impl KgLink {
+    /// Train KGLink on a dataset's train split, early-stopping on its
+    /// validation split. Returns the annotator and the training trace.
+    pub fn fit(resources: &Resources<'_>, dataset: &Dataset, config: KgLinkConfig) -> (Self, TrainReport) {
+        let pre = Preprocessor::new(resources.graph, resources.searcher, config.clone());
+        let process = |split: Split| -> Vec<ProcessedTable> {
+            dataset
+                .tables_in(split)
+                .flat_map(|t| pre.process(t))
+                .collect()
+        };
+        let train_pt = process(Split::Train);
+        let val_pt = process(Split::Validation);
+        Self::fit_processed(resources, &train_pt, &val_pt, &dataset.labels, config)
+    }
+
+    /// Train from already-preprocessed tables (lets the experiment harness
+    /// share one Part-1 pass across models and ablations).
+    pub fn fit_processed(
+        resources: &Resources<'_>,
+        train_pt: &[ProcessedTable],
+        val_pt: &[ProcessedTable],
+        labels: &LabelVocab,
+        config: KgLinkConfig,
+    ) -> (Self, TrainReport) {
+        let tokenizer = resources.tokenizer;
+        let train_prep = prepare_tables(train_pt, tokenizer, labels, &config, true);
+        let val_prep = prepare_tables(val_pt, tokenizer, labels, &config, false);
+        let mut model = KgLinkModel::new(&config, tokenizer.vocab.len(), labels.len());
+        if let Some(blob) = resources.pretrained_encoder {
+            // Best effort: only a matching architecture can load.
+            let _ = load_params(&mut model.encoder, blob);
+        }
+        let report = train::train(&mut model, &config, &train_prep, &val_prep);
+        (
+            KgLink {
+                config,
+                model,
+                labels: labels.clone(),
+            },
+            report,
+        )
+    }
+
+    /// Annotate one raw table: runs Part 1 and Part 2 end to end and
+    /// returns one label per column.
+    pub fn annotate(&self, resources: &Resources<'_>, table: &Table) -> Vec<LabelId> {
+        let pre = Preprocessor::new(resources.graph, resources.searcher, self.config.clone());
+        let mut out = Vec::with_capacity(table.n_cols());
+        for pt in pre.process(table) {
+            let prep = prepare_tables(
+                std::slice::from_ref(&pt),
+                resources.tokenizer,
+                &self.labels,
+                &self.config,
+                false,
+            );
+            out.extend(train::predict_table(&self.model, &self.config, &prep[0]));
+        }
+        out
+    }
+
+    /// Annotate one raw table, returning label names.
+    pub fn annotate_names(&self, resources: &Resources<'_>, table: &Table) -> Vec<String> {
+        self.annotate(resources, table)
+            .into_iter()
+            .map(|l| self.labels.name(l).to_string())
+            .collect()
+    }
+
+    /// Evaluate on preprocessed tables.
+    pub fn evaluate_processed(
+        &self,
+        resources: &Resources<'_>,
+        tables: &[ProcessedTable],
+    ) -> EvalSummary {
+        let prep = prepare_tables(tables, resources.tokenizer, &self.labels, &self.config, false);
+        train::evaluate(&self.model, &self.config, &prep)
+    }
+
+    /// Evaluate on a dataset split (preprocessing included).
+    pub fn evaluate(
+        &self,
+        resources: &Resources<'_>,
+        dataset: &Dataset,
+        split: Split,
+    ) -> EvalSummary {
+        let pre = Preprocessor::new(resources.graph, resources.searcher, self.config.clone());
+        let tables: Vec<ProcessedTable> = dataset
+            .tables_in(split)
+            .flat_map(|t| pre.process(t))
+            .collect();
+        self.evaluate_processed(resources, &tables)
+    }
+
+    /// Per-table predictions over preprocessed tables (for subset analyses
+    /// like the paper's Table IV).
+    pub fn predict_processed(
+        &self,
+        resources: &Resources<'_>,
+        tables: &[ProcessedTable],
+    ) -> Vec<Vec<LabelId>> {
+        let prep = prepare_tables(tables, resources.tokenizer, &self.labels, &self.config, false);
+        prep.iter()
+            .map(|p| train::predict_table(&self.model, &self.config, p))
+            .collect()
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&mut self) -> usize {
+        self.model.param_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kglink_datagen::{pretrain_corpus, semtab_like, SemTabConfig};
+    use kglink_kg::{SyntheticWorld, WorldConfig};
+
+    #[test]
+    fn fit_annotate_evaluate_end_to_end() {
+        let world = SyntheticWorld::generate(&WorldConfig::tiny(77));
+        let bench = semtab_like(&world, &SemTabConfig::tiny(77));
+        let searcher = EntitySearcher::build(&world.graph);
+        let corpus = pretrain_corpus(&world, 2);
+        let vocab = build_vocab(
+            corpus.iter().map(String::as_str),
+            &[&bench.dataset],
+            6000,
+        );
+        let tokenizer = Tokenizer::new(vocab);
+        let resources = Resources::new(&world.graph, &searcher, &tokenizer);
+        let config = KgLinkConfig {
+            epochs: 10,
+            patience: 0,
+            ..KgLinkConfig::fast_test()
+        };
+        let (kglink, report) = KgLink::fit(&resources, &bench.dataset, config);
+        assert!(!report.epoch_loss.is_empty());
+        let test_summary = kglink.evaluate(&resources, &bench.dataset, Split::Test);
+        assert!(test_summary.support > 0);
+        assert!(
+            test_summary.accuracy > 1.0 / bench.dataset.labels.len() as f64,
+            "better than random: {}",
+            test_summary.accuracy
+        );
+        // Annotate a raw test table.
+        let t = bench.dataset.tables_in(Split::Test).next().unwrap();
+        let names = kglink.annotate_names(&resources, t);
+        assert_eq!(names.len(), t.n_cols());
+    }
+
+    #[test]
+    fn build_vocab_includes_labels_and_cells() {
+        let world = SyntheticWorld::generate(&WorldConfig::tiny(78));
+        let bench = semtab_like(&world, &SemTabConfig::tiny(78));
+        let vocab = build_vocab(["hello world"], &[&bench.dataset], 6000);
+        let tok = Tokenizer::new(vocab);
+        // Label names tokenize to known ids.
+        let (_, name) = bench.dataset.labels.iter().next().unwrap();
+        let ids = tok.encode_text(name);
+        assert!(ids.iter().any(|&i| i != kglink_nn::special::UNK));
+    }
+}

@@ -1,0 +1,179 @@
+//! Part 1 orchestration: linking → filtering → candidate types → features.
+
+use crate::candidates::{candidate_types, CandidateType};
+use crate::config::KgLinkConfig;
+use crate::feature::feature_sequences;
+use crate::filter::prune_and_filter;
+use crate::linking::LinkedTable;
+use kglink_kg::KnowledgeGraph;
+use kglink_search::EntitySearcher;
+use kglink_table::table::NumericStats;
+use kglink_table::{LabelId, Table};
+
+/// The fully preprocessed form of one (column-chunk of a) table, ready for
+/// Part 2 serialization.
+#[derive(Debug, Clone)]
+pub struct ProcessedTable {
+    /// Row-filtered table (top-k rows in filter order, ≤ max_columns cols).
+    pub table: Table,
+    /// Per column: candidate type labels, best first (empty when the KG
+    /// yielded nothing — the serializer emits padding instead).
+    pub candidate_type_names: Vec<Vec<String>>,
+    /// Per column: scored candidate type entities (for analysis).
+    pub candidate_type_entities: Vec<Vec<CandidateType>>,
+    /// Per column: numeric statistics when the column is numeric (these
+    /// replace candidate types in the serialization, per the paper).
+    pub numeric_stats: Vec<Option<NumericStats>>,
+    /// Per column: feature sequence `S(e)`, or `None` (padding).
+    pub feature_seqs: Vec<Option<String>>,
+    /// Per column: whether any cell linked to the KG.
+    pub has_linkage: Vec<bool>,
+    /// Ground-truth labels (copied from the table for convenience).
+    pub labels: Vec<LabelId>,
+}
+
+impl ProcessedTable {
+    /// Whether column `c` is numeric (Table III definition).
+    pub fn is_numeric_column(&self, c: usize) -> bool {
+        self.numeric_stats[c].is_some() && self.table.is_numeric_column(c)
+    }
+}
+
+/// Runs Part 1 for tables against a fixed KG + search index.
+pub struct Preprocessor<'a> {
+    pub graph: &'a KnowledgeGraph,
+    pub searcher: &'a EntitySearcher,
+    pub config: KgLinkConfig,
+}
+
+impl<'a> Preprocessor<'a> {
+    pub fn new(graph: &'a KnowledgeGraph, searcher: &'a EntitySearcher, config: KgLinkConfig) -> Self {
+        Preprocessor {
+            graph,
+            searcher,
+            config,
+        }
+    }
+
+    /// Process one table. Tables wider than `max_columns` are split into
+    /// chunks (the paper: ">8 columns … divide it into multiple tables"),
+    /// each processed independently.
+    pub fn process(&self, table: &Table) -> Vec<ProcessedTable> {
+        table
+            .split_columns(self.config.max_columns)
+            .into_iter()
+            .map(|chunk| preprocess_table(&chunk, self.graph, self.searcher, &self.config))
+            .collect()
+    }
+}
+
+/// Run Part 1 on a single (≤ max_columns) table.
+pub fn preprocess_table(
+    table: &Table,
+    graph: &KnowledgeGraph,
+    searcher: &EntitySearcher,
+    config: &KgLinkConfig,
+) -> ProcessedTable {
+    let linked = LinkedTable::link(table, searcher, config.max_entities_per_mention);
+    let filtered = prune_and_filter(table, &linked, graph, config.top_k_rows, config.row_filter);
+    let cts = candidate_types(&filtered, graph, config.max_candidate_types);
+    let feats = feature_sequences(&filtered, graph);
+    let n_cols = filtered.table.n_cols();
+    let numeric_stats: Vec<Option<NumericStats>> = (0..n_cols)
+        .map(|c| {
+            if filtered.table.is_numeric_column(c) {
+                filtered.table.numeric_stats(c)
+            } else {
+                None
+            }
+        })
+        .collect();
+    let has_linkage: Vec<bool> = (0..n_cols)
+        .map(|c| filtered.cells[c].iter().any(|cell| !cell.entities.is_empty()))
+        .collect();
+    let candidate_type_names: Vec<Vec<String>> = cts
+        .iter()
+        .map(|col| {
+            col.iter()
+                .map(|ct| graph.label(ct.entity).to_string())
+                .collect()
+        })
+        .collect();
+    let labels = filtered.table.labels.clone();
+    ProcessedTable {
+        table: filtered.table,
+        candidate_type_names,
+        candidate_type_entities: cts,
+        numeric_stats,
+        feature_seqs: feats,
+        has_linkage,
+        labels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kglink_datagen::{semtab_like, SemTabConfig};
+    use kglink_kg::{SyntheticWorld, WorldConfig};
+
+    #[test]
+    fn preprocess_semtab_like_tables_end_to_end() {
+        let world = SyntheticWorld::generate(&WorldConfig::tiny(21));
+        let bench = semtab_like(&world, &SemTabConfig::tiny(21));
+        let searcher = EntitySearcher::build(&world.graph);
+        let pre = Preprocessor::new(&world.graph, &searcher, KgLinkConfig::fast_test());
+        let mut with_ct = 0usize;
+        let mut with_fv = 0usize;
+        let mut total = 0usize;
+        for table in bench.dataset.tables.iter().take(10) {
+            for pt in pre.process(table) {
+                assert!(pt.table.n_rows() <= pre.config.top_k_rows);
+                assert_eq!(pt.candidate_type_names.len(), pt.table.n_cols());
+                assert_eq!(pt.feature_seqs.len(), pt.table.n_cols());
+                for c in 0..pt.table.n_cols() {
+                    total += 1;
+                    if !pt.candidate_type_names[c].is_empty() {
+                        with_ct += 1;
+                    }
+                    if pt.feature_seqs[c].is_some() {
+                        with_fv += 1;
+                    }
+                    assert!(pt.candidate_type_names[c].len() <= pre.config.max_candidate_types);
+                    // SemTab-like has no numeric columns.
+                    assert!(pt.numeric_stats[c].is_none());
+                }
+            }
+        }
+        assert!(total > 0);
+        // SemTab-like is KG-derived: most columns have KG information.
+        assert!(
+            with_fv * 10 >= total * 9,
+            "feature vectors should cover nearly all columns: {with_fv}/{total}"
+        );
+        assert!(
+            with_ct * 2 >= total,
+            "candidate types should cover most columns: {with_ct}/{total}"
+        );
+    }
+
+    #[test]
+    fn wide_tables_are_split() {
+        let world = SyntheticWorld::generate(&WorldConfig::tiny(22));
+        let searcher = EntitySearcher::build(&world.graph);
+        let mut cfg = KgLinkConfig::fast_test();
+        cfg.max_columns = 2;
+        let pre = Preprocessor::new(&world.graph, &searcher, cfg);
+        let bench = semtab_like(&world, &SemTabConfig::tiny(22));
+        let wide = bench
+            .dataset
+            .tables
+            .iter()
+            .find(|t| t.n_cols() >= 3)
+            .expect("some table has 3+ columns");
+        let parts = pre.process(wide);
+        assert!(parts.len() >= 2);
+        let total_cols: usize = parts.iter().map(|p| p.table.n_cols()).sum();
+        assert_eq!(total_cols, wide.n_cols());
+    }
+}

@@ -1,0 +1,423 @@
+//! Part 2 training: multi-task fine-tuning with the adaptive combined loss.
+
+use crate::config::KgLinkConfig;
+use crate::model::KgLinkModel;
+use crate::preprocess::ProcessedTable;
+use crate::serialize::{serialize_features, serialize_table, SerializedTable, SlotFill};
+use kglink_nn::layers::param::HasParams;
+use kglink_nn::serialize::{load_params, save_params};
+use kglink_nn::{cross_entropy, dmlm_loss, AdamW, LinearDecay, Tensor, Tokenizer};
+use kglink_table::{EvalSummary, LabelId, LabelVocab};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A table fully prepared for the network: serialized masked input, the
+/// optional ground-truth teacher table, feature sequences, and labels.
+#[derive(Debug, Clone)]
+pub struct PreparedTable {
+    pub masked: SerializedTable,
+    /// Teacher table — present only for training tables with the mask task.
+    pub gt: Option<SerializedTable>,
+    pub features: Vec<Option<Vec<u32>>>,
+    pub labels: Vec<LabelId>,
+}
+
+/// Serialize processed tables for the network. `with_teacher` builds the
+/// ground-truth tables (training split only — the paper: "during model
+/// evaluation, the ground truth table is not created to prevent leakage").
+pub fn prepare_tables(
+    processed: &[ProcessedTable],
+    tokenizer: &Tokenizer,
+    labels: &LabelVocab,
+    config: &KgLinkConfig,
+    with_teacher: bool,
+) -> Vec<PreparedTable> {
+    processed
+        .iter()
+        .map(|pt| PreparedTable {
+            masked: serialize_table(pt, tokenizer, labels, config, SlotFill::Mask),
+            gt: (with_teacher && config.use_mask_task)
+                .then(|| serialize_table(pt, tokenizer, labels, config, SlotFill::GroundTruth)),
+            features: serialize_features(pt, tokenizer, config),
+            labels: pt.labels.clone(),
+        })
+        .collect()
+}
+
+/// Per-epoch training trace.
+#[derive(Debug, Clone, Default)]
+pub struct TrainReport {
+    /// Mean combined loss per epoch.
+    pub epoch_loss: Vec<f32>,
+    /// Validation accuracy per epoch.
+    pub val_accuracy: Vec<f64>,
+    /// `(log σ0², log σ1²)` at the end of each epoch (Figure 8(b)).
+    pub sigma_trajectory: Vec<(f32, f32)>,
+    /// Epoch whose weights were kept (early stopping).
+    pub best_epoch: usize,
+}
+
+/// One training step over a single table. Accumulates gradients into the
+/// model and returns `(mean CE loss, mean DMLM loss)` over its columns.
+///
+/// Dropout is applied to the encoder's output states (inverted-dropout
+/// scaling), which is where BERT's final dropout sits before the task
+/// heads; the mask is replayed on the backward path.
+fn train_table(
+    model: &mut KgLinkModel,
+    config: &KgLinkConfig,
+    pt: &PreparedTable,
+    rng: &mut StdRng,
+) -> (f32, f32) {
+    let (mut hidden, cache) = model.encoder.forward(&pt.masked.ids);
+    let dropout_mask = if config.dropout > 0.0 {
+        let keep = 1.0 - config.dropout;
+        let scale = 1.0 / keep;
+        let mask: Vec<f32> = (0..hidden.numel())
+            .map(|_| if rng.gen_bool(keep as f64) { scale } else { 0.0 })
+            .collect();
+        for (h, &m) in hidden.data_mut().iter_mut().zip(&mask) {
+            *h *= m;
+        }
+        Some(mask)
+    } else {
+        None
+    };
+    let teacher_hidden = match (&pt.gt, config.use_mask_task) {
+        (Some(gt), true) => Some(model.encoder.infer(&gt.ids)),
+        _ => None,
+    };
+    let mut d_hidden = Tensor::zeros(hidden.rows(), hidden.cols());
+    let d = hidden.cols();
+    let n_cols = pt.labels.len();
+    let visible = (0..n_cols)
+        .filter(|&c| pt.masked.cls[c] < hidden.rows())
+        .count()
+        .max(1);
+    let inv = 1.0 / visible as f32;
+    let (w0, w1) = if config.use_mask_task {
+        (model.uw.weight(0), model.uw.weight(1))
+    } else {
+        (0.0, 1.0)
+    };
+    let mut ce_sum = 0.0f32;
+    let mut dmlm_sum = 0.0f32;
+    for c in 0..n_cols {
+        let cls = pt.masked.cls[c];
+        if cls >= hidden.rows() {
+            continue; // truncated away by the encoder's context limit
+        }
+        // ---- Column representation: Y_col = φ(Y_cls, Y_fv) -------------
+        let mut y_col = Tensor::from_vec(1, d, hidden.row(cls).to_vec());
+        let feature_ids = if config.use_feature_vector {
+            pt.features[c].as_ref()
+        } else {
+            None
+        };
+        let feature_ctx = feature_ids.map(|fids| {
+            let (fh, fcache) = model.encoder.forward(fids);
+            let fv = Tensor::from_vec(1, d, fh.row(0).to_vec());
+            let (proj, pcache) = model.feature_proj.forward(&fv);
+            y_col.add_assign(&proj);
+            (fh.rows(), fcache, pcache)
+        });
+        // ---- Classification loss (Eq. 16) -------------------------------
+        let (logits, ccache) = model.classifier.forward(&y_col);
+        let (ce, mut dlogits) = cross_entropy(logits.row(0), pt.labels[c].index());
+        ce_sum += ce;
+        for g in &mut dlogits {
+            *g *= w1 * inv;
+        }
+        let dlogits_t = Tensor::from_vec(1, dlogits.len(), dlogits);
+        let dy_col = model.classifier.backward(&ccache, &dlogits_t);
+        for (g, &v) in d_hidden.row_mut(cls).iter_mut().zip(dy_col.row(0)) {
+            *g += v;
+        }
+        if let Some((f_rows, fcache, pcache)) = feature_ctx {
+            let dfv = model.feature_proj.backward(&pcache, &dy_col);
+            let mut dfh = Tensor::zeros(f_rows, d);
+            dfh.row_mut(0).copy_from_slice(dfv.row(0));
+            model.encoder.backward(&fcache, &dfh);
+        }
+        // ---- DMLM representation-generation loss (Eq. 13–14) ------------
+        if let Some(teacher) = &teacher_hidden {
+            let slot = pt.masked.slot[c];
+            if slot < hidden.rows() && slot < teacher.rows() {
+                let student_logits = model.head.infer_row(hidden.row(slot));
+                let teacher_logits = model.head.infer_row(teacher.row(slot));
+                let (dm, mut dstudent) =
+                    dmlm_loss(&student_logits, &teacher_logits, config.temperature);
+                dmlm_sum += dm;
+                for g in &mut dstudent {
+                    *g *= w0 * inv;
+                }
+                let x = Tensor::from_vec(1, d, hidden.row(slot).to_vec());
+                let (_, hcache) = model.head.proj.forward(&x);
+                let dstudent_t = Tensor::from_vec(1, dstudent.len(), dstudent);
+                let dx = model.head.proj.backward(&hcache, &dstudent_t);
+                for (g, &v) in d_hidden.row_mut(slot).iter_mut().zip(dx.row(0)) {
+                    *g += v;
+                }
+            }
+        }
+    }
+    if let Some(mask) = &dropout_mask {
+        for (g, &m) in d_hidden.data_mut().iter_mut().zip(mask) {
+            *g *= m;
+        }
+    }
+    model.encoder.backward(&cache, &d_hidden);
+    let ce_mean = ce_sum * inv;
+    let dmlm_mean = dmlm_sum * inv;
+    if config.use_mask_task {
+        // Uncertainty-weight gradients + the regularizer (Eq. 17).
+        model.uw.combine(dmlm_mean, ce_mean);
+    }
+    (ce_mean, dmlm_mean)
+}
+
+/// Predict labels for one prepared table (inference path, no gradients).
+pub fn predict_table(
+    model: &KgLinkModel,
+    config: &KgLinkConfig,
+    pt: &PreparedTable,
+) -> Vec<LabelId> {
+    let hidden = model.encoder.infer(&pt.masked.ids);
+    (0..pt.labels.len())
+        .map(|c| {
+            let cls = pt.masked.cls[c];
+            if cls >= hidden.rows() {
+                return LabelId(0); // truncated column: fall back to class 0
+            }
+            let fv = if config.use_feature_vector {
+                pt.features[c]
+                    .as_ref()
+                    .map(|fids| model.encoder.infer(fids).row(0).to_vec())
+            } else {
+                None
+            };
+            let y_col = model.compose(hidden.row(cls), fv.as_deref());
+            let logits = model.classify(&y_col);
+            let best = logits
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            LabelId(best as u32)
+        })
+        .collect()
+}
+
+/// Evaluate a model over prepared tables.
+pub fn evaluate(model: &KgLinkModel, config: &KgLinkConfig, tables: &[PreparedTable]) -> EvalSummary {
+    let mut preds = Vec::new();
+    let mut truths = Vec::new();
+    for pt in tables {
+        preds.extend(predict_table(model, config, pt));
+        truths.extend(pt.labels.iter().copied());
+    }
+    EvalSummary::compute(&preds, &truths)
+}
+
+/// Fine-tune `model` on `train` with early stopping on `val` accuracy.
+/// Restores the best-epoch weights before returning.
+pub fn train(
+    model: &mut KgLinkModel,
+    config: &KgLinkConfig,
+    train_tables: &[PreparedTable],
+    val_tables: &[PreparedTable],
+) -> TrainReport {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let batch = config.batch_size.max(1);
+    let steps_per_epoch = train_tables.len().div_ceil(batch);
+    let mut opt = AdamW::new(
+        config.optimizer,
+        Some(LinearDecay {
+            total_steps: steps_per_epoch * config.epochs,
+        }),
+    );
+    let mut report = TrainReport::default();
+    let mut best_acc = f64::NEG_INFINITY;
+    let mut best_blob: Option<Vec<u8>> = None;
+    let mut bad_epochs = 0usize;
+    let mut order: Vec<usize> = (0..train_tables.len()).collect();
+    for epoch in 0..config.epochs {
+        order.shuffle(&mut rng);
+        let mut epoch_loss = 0.0f32;
+        let mut n_tables = 0usize;
+        for chunk in order.chunks(batch) {
+            for &ti in chunk {
+                let (ce, dm) = train_table(model, config, &train_tables[ti], &mut rng);
+                let (w0, w1) = if config.use_mask_task {
+                    (model.uw.weight(0), model.uw.weight(1))
+                } else {
+                    (0.0, 1.0)
+                };
+                epoch_loss += w0 * dm + w1 * ce;
+                n_tables += 1;
+            }
+            model.scale_grads(1.0 / chunk.len() as f32);
+            opt.step(model);
+        }
+        report
+            .epoch_loss
+            .push(epoch_loss / n_tables.max(1) as f32);
+        let acc = if val_tables.is_empty() {
+            0.0
+        } else {
+            evaluate(model, config, val_tables).accuracy
+        };
+        report.val_accuracy.push(acc);
+        report.sigma_trajectory.push(model.uw.log_sigmas());
+        // Without a validation split there is no early-stopping signal:
+        // train to the end and keep the final weights.
+        if !val_tables.is_empty() {
+            if acc > best_acc {
+                best_acc = acc;
+                report.best_epoch = epoch;
+                best_blob = Some(save_params(model).to_vec());
+                bad_epochs = 0;
+            } else {
+                bad_epochs += 1;
+                if config.patience > 0 && bad_epochs >= config.patience {
+                    break;
+                }
+            }
+        } else {
+            report.best_epoch = epoch;
+        }
+    }
+    if let Some(blob) = best_blob {
+        load_params(model, &blob).expect("restoring own weights cannot fail");
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preprocess::Preprocessor;
+    use kglink_datagen::{pretrain_corpus, semtab_like, SemTabConfig};
+    use kglink_kg::{SyntheticWorld, WorldConfig};
+    use kglink_nn::{Tokenizer, Vocab};
+    use kglink_search::EntitySearcher;
+    use kglink_table::Split;
+
+    fn setup() -> (
+        Vec<PreparedTable>,
+        Vec<PreparedTable>,
+        KgLinkConfig,
+        usize,
+        usize,
+    ) {
+        let world = SyntheticWorld::generate(&WorldConfig::tiny(55));
+        let bench = semtab_like(&world, &SemTabConfig::tiny(55));
+        let searcher = EntitySearcher::build(&world.graph);
+        let config = KgLinkConfig::fast_test();
+        let pre = Preprocessor::new(&world.graph, &searcher, config.clone());
+        let corpus = pretrain_corpus(&world, 1);
+        let mut texts: Vec<String> = corpus;
+        for (_, name) in bench.dataset.labels.iter() {
+            texts.push(name.to_string());
+        }
+        let vocab = Vocab::build(texts.iter().map(String::as_str), 1, 4000);
+        let vocab_size = vocab.len();
+        let tokenizer = Tokenizer::new(vocab);
+        let process = |split: Split| -> Vec<ProcessedTable> {
+            bench
+                .dataset
+                .tables_in(split)
+                .flat_map(|t| pre.process(t))
+                .collect()
+        };
+        let train_pt = process(Split::Train);
+        let test_pt = process(Split::Test);
+        let train_prep = prepare_tables(&train_pt, &tokenizer, &bench.dataset.labels, &config, true);
+        let test_prep = prepare_tables(&test_pt, &tokenizer, &bench.dataset.labels, &config, false);
+        let n_labels = bench.dataset.labels.len();
+        (train_prep, test_prep, config, vocab_size, n_labels)
+    }
+
+    #[test]
+    fn training_improves_over_untrained() {
+        let (train_prep, test_prep, mut config, vocab_size, n_labels) = setup();
+        config.epochs = 12;
+        let mut model = KgLinkModel::new(&config, vocab_size, n_labels);
+        let before = evaluate(&model, &config, &test_prep);
+        let report = train(&mut model, &config, &train_prep, &test_prep);
+        let after = evaluate(&model, &config, &test_prep);
+        assert_eq!(report.epoch_loss.len(), report.val_accuracy.len());
+        assert!(
+            after.accuracy > before.accuracy + 0.1,
+            "training must help: {} -> {}",
+            before.accuracy,
+            after.accuracy
+        );
+        assert!(
+            after.accuracy > 1.0 / n_labels as f64,
+            "better than random"
+        );
+    }
+
+    #[test]
+    fn sigma_trajectory_is_recorded_and_moves() {
+        let (train_prep, test_prep, config, vocab_size, n_labels) = setup();
+        let mut model = KgLinkModel::new(&config, vocab_size, n_labels);
+        let report = train(&mut model, &config, &train_prep, &test_prep);
+        assert!(!report.sigma_trajectory.is_empty());
+        let (s0_first, _) = report.sigma_trajectory[0];
+        let _ = s0_first;
+        // σ params start at 0 and must have been updated.
+        let (s0, s1) = model.uw.log_sigmas();
+        assert!(s0 != 0.0 || s1 != 0.0, "uncertainty weights should train");
+    }
+
+    #[test]
+    fn training_without_mask_task_runs() {
+        let (train_prep, test_prep, mut config, vocab_size, n_labels) = setup();
+        config.use_mask_task = false;
+        // Prepared tables carry slots from the masked config; rebuild minimal.
+        let train2: Vec<PreparedTable> = train_prep
+            .iter()
+            .map(|p| PreparedTable {
+                gt: None,
+                ..p.clone()
+            })
+            .collect();
+        let mut model = KgLinkModel::new(&config, vocab_size, n_labels);
+        let report = train(&mut model, &config, &train2, &test_prep);
+        assert!(!report.epoch_loss.is_empty());
+        // Sigmas untouched without the multi-task loss.
+        assert_eq!(model.uw.log_sigmas(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn dropout_training_still_converges_and_inference_is_deterministic() {
+        let (train_prep, test_prep, mut config, vocab_size, n_labels) = setup();
+        config.epochs = 12;
+        config.dropout = 0.3;
+        let mut model = KgLinkModel::new(&config, vocab_size, n_labels);
+        let before = evaluate(&model, &config, &test_prep);
+        train(&mut model, &config, &train_prep, &test_prep);
+        let after = evaluate(&model, &config, &test_prep);
+        assert!(after.accuracy > before.accuracy, "{} -> {}", before.accuracy, after.accuracy);
+        // Dropout is train-only: two evaluations agree exactly.
+        let again = evaluate(&model, &config, &test_prep);
+        assert_eq!(after.accuracy, again.accuracy);
+    }
+
+    #[test]
+    fn prediction_shape_matches_labels() {
+        let (train_prep, _, config, vocab_size, n_labels) = setup();
+        let model = KgLinkModel::new(&config, vocab_size, n_labels);
+        for pt in train_prep.iter().take(3) {
+            let preds = predict_table(&model, &config, pt);
+            assert_eq!(preds.len(), pt.labels.len());
+            for p in preds {
+                assert!((p.index()) < n_labels);
+            }
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Cell-level noise models: typos, casing damage, alias substitution.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Apply a single-character typo (swap, drop, or duplicate) to `s`.
+/// Strings shorter than 4 characters are returned unchanged — mangling a
+/// short code would destroy it entirely rather than perturb it.
+pub fn typo(s: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.len() < 4 {
+        return s.to_string();
+    }
+    let i = rng.gen_range(1..chars.len() - 1);
+    let mut out: Vec<char> = chars.clone();
+    match rng.gen_range(0..3u8) {
+        0 => out.swap(i, i - 1),
+        1 => {
+            out.remove(i);
+        }
+        _ => out.insert(i, chars[i]),
+    }
+    out.into_iter().collect()
+}
+
+/// Randomly damage the casing of `s` (all lower or all upper).
+pub fn case_damage(s: &str, rng: &mut StdRng) -> String {
+    if rng.gen_bool(0.5) {
+        s.to_lowercase()
+    } else {
+        s.to_uppercase()
+    }
+}
+
+/// Perturb a mention with probability `p`: typo (2/3) or case damage (1/3).
+pub fn maybe_perturb(s: &str, p: f64, rng: &mut StdRng) -> String {
+    if !rng.gen_bool(p) {
+        return s.to_string();
+    }
+    if rng.gen_bool(2.0 / 3.0) {
+        typo(s, rng)
+    } else {
+        case_damage(s, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(33)
+    }
+
+    #[test]
+    fn typo_changes_longer_strings() {
+        let mut r = rng();
+        let mut changed = 0;
+        for _ in 0..20 {
+            if typo("Peter Steele", &mut r) != "Peter Steele" {
+                changed += 1;
+            }
+        }
+        assert!(changed >= 15, "most typos should alter the string");
+    }
+
+    #[test]
+    fn typo_preserves_short_codes() {
+        let mut r = rng();
+        assert_eq!(typo("PF", &mut r), "PF");
+        assert_eq!(typo("abc", &mut r), "abc");
+    }
+
+    #[test]
+    fn typo_changes_length_by_at_most_one() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let t = typo("Springfield", &mut r);
+            let diff = (t.chars().count() as i64 - 11).abs();
+            assert!(diff <= 1, "{t}");
+        }
+    }
+
+    #[test]
+    fn perturb_probability_zero_is_identity() {
+        let mut r = rng();
+        assert_eq!(maybe_perturb("Hello World", 0.0, &mut r), "Hello World");
+    }
+
+    #[test]
+    fn case_damage_flattens_case() {
+        let mut r = rng();
+        let d = case_damage("MiXeD", &mut r);
+        assert!(d == "mixed" || d == "MIXED");
+    }
+}

@@ -1,0 +1,155 @@
+//! Convenience builder for assembling graphs with string-keyed lookups.
+
+use crate::entity::{Entity, EntityId, NeSchema, PredicateId};
+use crate::graph::KnowledgeGraph;
+use std::collections::HashMap;
+
+/// Incremental graph builder.
+///
+/// Keeps a label → id map for *type* entities (type labels are unique by
+/// construction) so generator code can wire `instance of` edges by name, and
+/// interns predicates. Instance labels are allowed to collide (two people can
+/// share a name), mirroring real KGs, so instances are addressed by id only.
+#[derive(Debug, Default)]
+pub struct KgBuilder {
+    graph: KnowledgeGraph,
+    type_ids: HashMap<String, EntityId>,
+}
+
+impl KgBuilder {
+    /// Start an empty builder with the two ontology predicates registered.
+    pub fn new() -> Self {
+        let mut graph = KnowledgeGraph::new();
+        graph.intern_predicate(crate::predicates::INSTANCE_OF);
+        graph.intern_predicate(crate::predicates::SUBCLASS_OF);
+        KgBuilder {
+            graph,
+            type_ids: HashMap::new(),
+        }
+    }
+
+    /// Register a predicate and return its id.
+    pub fn predicate(&mut self, name: &str) -> PredicateId {
+        self.graph.intern_predicate(name)
+    }
+
+    /// Add (or fetch) a type entity by label. Optionally attach a
+    /// `subclass of` edge to a parent type.
+    pub fn add_type(&mut self, label: &str, parent: Option<EntityId>) -> EntityId {
+        if let Some(&id) = self.type_ids.get(label) {
+            if let Some(p) = parent {
+                let p279 = self.graph.intern_predicate(crate::predicates::SUBCLASS_OF);
+                if !self.graph.superclasses_of(id).contains(&p) {
+                    self.graph.add_edge(id, p279, p);
+                }
+            }
+            return id;
+        }
+        let id = self.graph.add_entity(Entity::new_type(label));
+        self.type_ids.insert(label.to_string(), id);
+        if let Some(p) = parent {
+            let p279 = self.graph.intern_predicate(crate::predicates::SUBCLASS_OF);
+            self.graph.add_edge(id, p279, p);
+        }
+        id
+    }
+
+    /// Look up a type entity by label.
+    pub fn type_id(&self, label: &str) -> Option<EntityId> {
+        self.type_ids.get(label).copied()
+    }
+
+    /// Add an instance entity with an `instance of` edge to `ty`.
+    pub fn add_instance(&mut self, entity: Entity, ty: EntityId) -> EntityId {
+        debug_assert!(
+            self.graph.entity(ty).is_type,
+            "instance must point at a type entity"
+        );
+        let id = self.graph.add_entity(entity);
+        let p31 = self.graph.intern_predicate(crate::predicates::INSTANCE_OF);
+        self.graph.add_edge(id, p31, ty);
+        id
+    }
+
+    /// Add an instance entity without any `instance of` edge (simulates
+    /// incomplete KG coverage — the paper's "missing entity linkages").
+    pub fn add_untyped_instance(&mut self, entity: Entity) -> EntityId {
+        self.graph.add_entity(entity)
+    }
+
+    /// Add a relation edge between two existing entities.
+    pub fn relate(&mut self, subject: EntityId, predicate: PredicateId, object: EntityId) {
+        self.graph.add_edge(subject, predicate, object);
+    }
+
+    /// Shorthand to create an instance with label, schema and type in one call.
+    pub fn instance(&mut self, label: &str, schema: NeSchema, ty: EntityId) -> EntityId {
+        self.add_instance(Entity::new(label, schema), ty)
+    }
+
+    /// Finish and return the graph.
+    pub fn build(self) -> KnowledgeGraph {
+        self.graph
+    }
+
+    /// Peek at the graph under construction.
+    pub fn graph(&self) -> &KnowledgeGraph {
+        &self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn types_are_deduplicated_by_label() {
+        let mut b = KgBuilder::new();
+        let a1 = b.add_type("Athlete", None);
+        let a2 = b.add_type("Athlete", None);
+        assert_eq!(a1, a2);
+        assert_eq!(b.type_id("Athlete"), Some(a1));
+    }
+
+    #[test]
+    fn hierarchy_builds_subclass_edges() {
+        let mut b = KgBuilder::new();
+        let person = b.add_type("Person", None);
+        let athlete = b.add_type("Athlete", Some(person));
+        let bballer = b.add_type("Basketball player", Some(athlete));
+        let g = b.build();
+        assert_eq!(g.superclasses_of(bballer), vec![athlete]);
+        assert_eq!(g.superclasses_of(athlete), vec![person]);
+        assert!(g.superclasses_of(person).is_empty());
+    }
+
+    #[test]
+    fn instances_get_instance_of_edges() {
+        let mut b = KgBuilder::new();
+        let musician = b.add_type("Musician", None);
+        let steele = b.instance("Peter Steele", NeSchema::Person, musician);
+        let g = b.build();
+        assert_eq!(g.types_of(steele), vec![musician]);
+    }
+
+    #[test]
+    fn untyped_instances_have_no_types() {
+        let mut b = KgBuilder::new();
+        let id = b.add_untyped_instance(Entity::new("orphan", NeSchema::Other));
+        let g = b.build();
+        assert!(g.types_of(id).is_empty());
+    }
+
+    #[test]
+    fn re_adding_type_with_parent_attaches_edge_once() {
+        let mut b = KgBuilder::new();
+        let person = b.add_type("Person", None);
+        let athlete1 = b.add_type("Athlete", None);
+        let athlete2 = b.add_type("Athlete", Some(person));
+        let athlete3 = b.add_type("Athlete", Some(person));
+        assert_eq!(athlete1, athlete2);
+        assert_eq!(athlete2, athlete3);
+        let g = b.build();
+        assert_eq!(g.superclasses_of(athlete1), vec![person]);
+    }
+}

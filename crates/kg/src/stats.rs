@@ -1,0 +1,118 @@
+//! Summary statistics over a knowledge graph, used in reports and sanity tests.
+
+use crate::graph::KnowledgeGraph;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate counts describing a graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KgStats {
+    /// Total entities (instances + types).
+    pub entities: usize,
+    /// Entities flagged as types/classes.
+    pub type_entities: usize,
+    /// Distinct predicates.
+    pub predicates: usize,
+    /// Directed edges.
+    pub edges: usize,
+    /// Instances with at least one `instance of` edge.
+    pub typed_instances: usize,
+    /// Instances with no `instance of` edge (coverage holes).
+    pub untyped_instances: usize,
+    /// Mean out-degree over all entities.
+    pub mean_out_degree: f64,
+    /// Total aliases across entities.
+    pub aliases: usize,
+}
+
+impl KgStats {
+    /// Compute statistics for `graph`.
+    pub fn compute(graph: &KnowledgeGraph) -> Self {
+        let mut type_entities = 0usize;
+        let mut typed_instances = 0usize;
+        let mut untyped_instances = 0usize;
+        let mut aliases = 0usize;
+        let mut predicates = 0usize;
+        for (id, e) in graph.entities() {
+            aliases += e.aliases.len();
+            if e.is_type {
+                type_entities += 1;
+            } else if graph.types_of(id).is_empty() {
+                untyped_instances += 1;
+            } else {
+                typed_instances += 1;
+            }
+            for edge in graph.outgoing(id) {
+                predicates = predicates.max(edge.predicate.index() + 1);
+            }
+        }
+        let edges = graph.edge_count();
+        KgStats {
+            entities: graph.len(),
+            type_entities,
+            predicates,
+            edges,
+            typed_instances,
+            untyped_instances,
+            mean_out_degree: if graph.is_empty() {
+                0.0
+            } else {
+                edges as f64 / graph.len() as f64
+            },
+            aliases,
+        }
+    }
+}
+
+impl std::fmt::Display for KgStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "entities:          {}", self.entities)?;
+        writeln!(f, "  type entities:   {}", self.type_entities)?;
+        writeln!(f, "  typed instances: {}", self.typed_instances)?;
+        writeln!(f, "  untyped:         {}", self.untyped_instances)?;
+        writeln!(f, "predicates:        {}", self.predicates)?;
+        writeln!(f, "edges:             {}", self.edges)?;
+        writeln!(f, "aliases:           {}", self.aliases)?;
+        write!(f, "mean out-degree:   {:.2}", self.mean_out_degree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KgBuilder;
+    use crate::entity::{Entity, NeSchema};
+
+    #[test]
+    fn stats_count_types_and_instances() {
+        let mut b = KgBuilder::new();
+        let musician = b.add_type("Musician", None);
+        b.instance("Peter Steele", NeSchema::Person, musician);
+        b.add_untyped_instance(Entity::new("mystery", NeSchema::Other).with_alias("unknown"));
+        let g = b.build();
+        let s = KgStats::compute(&g);
+        assert_eq!(s.entities, 3);
+        assert_eq!(s.type_entities, 1);
+        assert_eq!(s.typed_instances, 1);
+        assert_eq!(s.untyped_instances, 1);
+        assert_eq!(s.aliases, 1);
+        assert_eq!(s.edges, 1);
+        assert!(s.mean_out_degree > 0.0);
+    }
+
+    #[test]
+    fn empty_graph_stats_are_zero() {
+        let g = KnowledgeGraph::new();
+        let s = KgStats::compute(&g);
+        assert_eq!(s.entities, 0);
+        assert_eq!(s.mean_out_degree, 0.0);
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let g = KnowledgeGraph::new();
+        let s = KgStats::compute(&g);
+        let text = s.to_string();
+        assert!(text.contains("entities"));
+        assert!(text.contains("mean out-degree"));
+    }
+}

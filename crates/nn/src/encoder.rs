@@ -1,0 +1,288 @@
+//! The transformer encoder: embeddings + stacked blocks.
+
+use crate::layers::block::{BlockCache, TransformerBlock};
+use crate::layers::embedding::{Embedding, EmbeddingCache};
+use crate::layers::layernorm::{LayerNorm, LayerNormCache};
+use crate::layers::param::{HasParams, Param};
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Architecture hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EncoderConfig {
+    pub vocab_size: usize,
+    pub d_model: usize,
+    pub n_heads: usize,
+    pub d_ff: usize,
+    pub n_layers: usize,
+    pub max_len: usize,
+    pub seed: u64,
+}
+
+impl EncoderConfig {
+    /// The reproduction's default "MiniLM" — the stand-in for BERT-base.
+    /// Every model in the main results table shares this encoder size, so
+    /// comparisons measure method differences, not capacity.
+    pub fn mini(vocab_size: usize) -> Self {
+        EncoderConfig {
+            vocab_size,
+            d_model: 48,
+            n_heads: 4,
+            d_ff: 96,
+            n_layers: 2,
+            max_len: 192,
+            seed: 42,
+        }
+    }
+
+    /// A larger encoder playing DeBERTa's role in the ablation (Table II's
+    /// "KGLink DeBERTa" row): same interface, more capacity.
+    pub fn large(vocab_size: usize) -> Self {
+        EncoderConfig {
+            vocab_size,
+            d_model: 64,
+            n_heads: 4,
+            d_ff: 128,
+            n_layers: 3,
+            max_len: 192,
+            seed: 42,
+        }
+    }
+}
+
+/// BERT-style encoder: token + position embeddings, embedding LayerNorm,
+/// then `n_layers` post-LN transformer blocks.
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    pub config: EncoderConfig,
+    pub token_emb: Embedding,
+    pub pos_emb: Param,
+    pub emb_ln: LayerNorm,
+    pub blocks: Vec<TransformerBlock>,
+}
+
+/// Forward cache.
+#[derive(Debug)]
+pub struct EncoderCache {
+    emb: EmbeddingCache,
+    emb_ln: LayerNormCache,
+    blocks: Vec<BlockCache>,
+}
+
+impl Encoder {
+    /// Build an encoder from a config (deterministic under `config.seed`).
+    pub fn new(config: EncoderConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let token_emb = Embedding::new(config.vocab_size, config.d_model, &mut rng);
+        let pos_emb = Param::new(Tensor::normal(config.max_len, config.d_model, 0.02, &mut rng));
+        let emb_ln = LayerNorm::new(config.d_model);
+        let blocks = (0..config.n_layers)
+            .map(|_| TransformerBlock::new(config.d_model, config.n_heads, config.d_ff, &mut rng))
+            .collect();
+        Encoder {
+            config,
+            token_emb,
+            pos_emb,
+            emb_ln,
+            blocks,
+        }
+    }
+
+    /// Truncate token ids to the maximum supported length.
+    fn clip<'a>(&self, ids: &'a [u32]) -> &'a [u32] {
+        &ids[..ids.len().min(self.config.max_len)]
+    }
+
+    /// Embed tokens + positions.
+    fn embed(&self, ids: &[u32]) -> (Tensor, EmbeddingCache) {
+        let (mut x, cache) = self.token_emb.forward(ids);
+        for r in 0..x.rows() {
+            let pos = self.pos_emb.value.row(r);
+            let row = x.row_mut(r);
+            for (a, &b) in row.iter_mut().zip(pos) {
+                *a += b;
+            }
+        }
+        (x, cache)
+    }
+
+    /// Encode a token sequence into `(len × d_model)` hidden states, with a
+    /// cache for backprop. Sequences longer than `max_len` are truncated.
+    pub fn forward(&self, ids: &[u32]) -> (Tensor, EncoderCache) {
+        let ids = self.clip(ids);
+        let (x, emb_cache) = self.embed(ids);
+        let (mut h, emb_ln_cache) = self.emb_ln.forward(&x);
+        let mut block_caches = Vec::with_capacity(self.blocks.len());
+        for block in &self.blocks {
+            let (next, cache) = block.forward(&h);
+            h = next;
+            block_caches.push(cache);
+        }
+        (
+            h,
+            EncoderCache {
+                emb: emb_cache,
+                emb_ln: emb_ln_cache,
+                blocks: block_caches,
+            },
+        )
+    }
+
+    /// Encode without caching (inference / detached teacher branches).
+    pub fn infer(&self, ids: &[u32]) -> Tensor {
+        let ids = self.clip(ids);
+        let (x, _) = self.embed(ids);
+        let mut h = self.emb_ln.infer(&x);
+        for block in &self.blocks {
+            h = block.infer(&h);
+        }
+        h
+    }
+
+    /// Backward from `dh` (gradient w.r.t. the final hidden states).
+    /// Accumulates into every parameter's gradient buffer.
+    pub fn backward(&mut self, cache: &EncoderCache, dh: &Tensor) {
+        let mut grad = dh.clone();
+        for (block, bcache) in self.blocks.iter_mut().zip(&cache.blocks).rev() {
+            grad = block.backward(bcache, &grad);
+        }
+        let dx = self.emb_ln.backward(&cache.emb_ln, &grad);
+        // Position embeddings receive the same gradient rows.
+        for r in 0..dx.rows() {
+            let d = dx.cols();
+            let dst = &mut self.pos_emb.grad.data_mut()[r * d..(r + 1) * d];
+            for (g, &v) in dst.iter_mut().zip(dx.row(r)) {
+                *g += v;
+            }
+        }
+        self.token_emb.backward(&cache.emb, &dx);
+    }
+
+    /// Model width.
+    pub fn d_model(&self) -> usize {
+        self.config.d_model
+    }
+}
+
+impl HasParams for Encoder {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.token_emb.visit_params(f);
+        f(&mut self.pos_emb);
+        self.emb_ln.visit_params(f);
+        for b in &mut self.blocks {
+            b.visit_params(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> EncoderConfig {
+        EncoderConfig {
+            vocab_size: 20,
+            d_model: 8,
+            n_heads: 2,
+            d_ff: 16,
+            n_layers: 2,
+            max_len: 16,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let enc = Encoder::new(tiny_config());
+        let (h, cache) = enc.forward(&[2, 5, 6, 3]);
+        assert_eq!(h.shape(), (4, 8));
+        assert_eq!(cache.blocks.len(), 2);
+    }
+
+    #[test]
+    fn truncates_to_max_len() {
+        let enc = Encoder::new(tiny_config());
+        let ids: Vec<u32> = (0..40).map(|i| i % 20).collect();
+        let h = enc.infer(&ids);
+        assert_eq!(h.rows(), 16);
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let enc = Encoder::new(tiny_config());
+        let ids = [2u32, 7, 9, 11, 3];
+        let (h, _) = enc.forward(&ids);
+        let h2 = enc.infer(&ids);
+        for (a, b) in h.data().iter().zip(h2.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let e1 = Encoder::new(tiny_config());
+        let e2 = Encoder::new(tiny_config());
+        let h1 = e1.infer(&[2, 5, 3]);
+        let h2 = e2.infer(&[2, 5, 3]);
+        assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn backward_populates_all_gradients() {
+        let mut enc = Encoder::new(tiny_config());
+        let ids = [2u32, 5, 6, 3];
+        let (h, cache) = enc.forward(&ids);
+        let mut dh = Tensor::zeros(h.rows(), h.cols());
+        dh.data_mut().fill(0.1);
+        enc.backward(&cache, &dh);
+        let norm = enc.grad_norm();
+        assert!(norm > 0.0, "gradients must flow to parameters");
+        // Token embedding rows for used ids are non-zero.
+        assert!(enc.token_emb.table.grad.row(5).iter().any(|&g| g != 0.0));
+        // Unused ids stay zero.
+        assert!(enc.token_emb.table.grad.row(19).iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn encoder_gradient_check_end_to_end() {
+        let mut enc = Encoder::new(EncoderConfig {
+            vocab_size: 10,
+            d_model: 4,
+            n_heads: 2,
+            d_ff: 8,
+            n_layers: 1,
+            max_len: 8,
+            seed: 4,
+        });
+        let ids = [2u32, 5, 3];
+        let upstream = Tensor::from_vec(3, 4, (0..12).map(|i| (i as f32 - 6.0) / 10.0).collect());
+        let (_, cache) = enc.forward(&ids);
+        enc.backward(&cache, &upstream);
+        // Finite difference on one token-embedding entry.
+        let eps = 1e-2f32;
+        let idx = 5 * 4 + 1; // row of token 5, col 1
+        let ana = enc.token_emb.table.grad.data()[idx];
+        let orig = enc.token_emb.table.value.data()[idx];
+        enc.token_emb.table.value.data_mut()[idx] = orig + eps;
+        let lp = enc.infer(&ids).dot(&upstream);
+        enc.token_emb.table.value.data_mut()[idx] = orig - eps;
+        let lm = enc.infer(&ids).dot(&upstream);
+        enc.token_emb.table.value.data_mut()[idx] = orig;
+        let num = (lp - lm) / (2.0 * eps);
+        assert!(
+            (num - ana).abs() < 0.05 * (1.0 + ana.abs()),
+            "numeric {num} vs analytic {ana}"
+        );
+    }
+
+    #[test]
+    fn param_count_grows_with_layers() {
+        let mut small = Encoder::new(tiny_config());
+        let mut cfg = tiny_config();
+        cfg.n_layers = 3;
+        let mut big = Encoder::new(cfg);
+        assert!(big.param_count() > small.param_count());
+    }
+}

@@ -1,0 +1,263 @@
+//! Multi-head self-attention with full backward pass.
+
+use crate::layers::linear::{Linear, LinearCache};
+use crate::layers::param::{HasParams, Param};
+use crate::ops::{softmax_backward_rows, softmax_rows};
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// Standard scaled dot-product multi-head self-attention.
+///
+/// Operates on one unpadded sequence `(L × d)`, so no attention mask is
+/// needed (mini-batching is gradient accumulation upstream).
+#[derive(Debug, Clone)]
+pub struct MultiHeadSelfAttention {
+    pub wq: Linear,
+    pub wk: Linear,
+    pub wv: Linear,
+    pub wo: Linear,
+    n_heads: usize,
+}
+
+/// Forward cache for the backward pass.
+#[derive(Debug)]
+pub struct AttentionCache {
+    cq: LinearCache,
+    ck: LinearCache,
+    cv: LinearCache,
+    co: LinearCache,
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    /// Post-softmax attention matrices, one `(L × L)` per head.
+    probs: Vec<Tensor>,
+}
+
+impl MultiHeadSelfAttention {
+    /// Create with `d` model width split across `n_heads` heads.
+    ///
+    /// # Panics
+    /// Panics if `d` is not divisible by `n_heads`.
+    pub fn new(d: usize, n_heads: usize, rng: &mut StdRng) -> Self {
+        assert!(d % n_heads == 0, "d must divide evenly into heads");
+        MultiHeadSelfAttention {
+            wq: Linear::new(d, d, rng),
+            wk: Linear::new(d, d, rng),
+            wv: Linear::new(d, d, rng),
+            wo: Linear::new(d, d, rng),
+            n_heads,
+        }
+    }
+
+    /// Head width.
+    fn d_head(&self) -> usize {
+        self.wq.d_out() / self.n_heads
+    }
+
+    /// Copy the `h`-th head's columns out of a `(L × d)` tensor.
+    fn slice_head(x: &Tensor, h: usize, dh: usize) -> Tensor {
+        let mut out = Tensor::zeros(x.rows(), dh);
+        for r in 0..x.rows() {
+            out.row_mut(r).copy_from_slice(&x.row(r)[h * dh..(h + 1) * dh]);
+        }
+        out
+    }
+
+    /// Add a `(L × dh)` tensor back into the `h`-th head's columns.
+    fn unslice_head(dst: &mut Tensor, src: &Tensor, h: usize, dh: usize) {
+        for r in 0..src.rows() {
+            let d = &mut dst.row_mut(r)[h * dh..(h + 1) * dh];
+            for (a, &b) in d.iter_mut().zip(src.row(r)) {
+                *a += b;
+            }
+        }
+    }
+
+    /// Forward with cache.
+    pub fn forward(&self, x: &Tensor) -> (Tensor, AttentionCache) {
+        let dh = self.d_head();
+        let scale = 1.0 / (dh as f32).sqrt();
+        let (q, cq) = self.wq.forward(x);
+        let (k, ck) = self.wk.forward(x);
+        let (v, cv) = self.wv.forward(x);
+        let l = x.rows();
+        let mut ctx = Tensor::zeros(l, self.wq.d_out());
+        let mut probs = Vec::with_capacity(self.n_heads);
+        for h in 0..self.n_heads {
+            let qh = Self::slice_head(&q, h, dh);
+            let kh = Self::slice_head(&k, h, dh);
+            let vh = Self::slice_head(&v, h, dh);
+            let mut scores = qh.matmul_nt(&kh);
+            scores.scale(scale);
+            softmax_rows(&mut scores);
+            let ctx_h = scores.matmul(&vh);
+            Self::unslice_head(&mut ctx, &ctx_h, h, dh);
+            probs.push(scores);
+        }
+        let (y, co) = self.wo.forward(&ctx);
+        (
+            y,
+            AttentionCache {
+                cq,
+                ck,
+                cv,
+                co,
+                q,
+                k,
+                v,
+                probs,
+            },
+        )
+    }
+
+    /// Forward without caching.
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        let dh = self.d_head();
+        let scale = 1.0 / (dh as f32).sqrt();
+        let q = self.wq.infer(x);
+        let k = self.wk.infer(x);
+        let v = self.wv.infer(x);
+        let mut ctx = Tensor::zeros(x.rows(), self.wq.d_out());
+        for h in 0..self.n_heads {
+            let qh = Self::slice_head(&q, h, dh);
+            let kh = Self::slice_head(&k, h, dh);
+            let vh = Self::slice_head(&v, h, dh);
+            let mut scores = qh.matmul_nt(&kh);
+            scores.scale(scale);
+            softmax_rows(&mut scores);
+            let ctx_h = scores.matmul(&vh);
+            Self::unslice_head(&mut ctx, &ctx_h, h, dh);
+        }
+        self.wo.infer(&ctx)
+    }
+
+    /// Backward: accumulates all projection gradients, returns `dx`.
+    pub fn backward(&mut self, cache: &AttentionCache, dy: &Tensor) -> Tensor {
+        let dh = self.d_head();
+        let scale = 1.0 / (dh as f32).sqrt();
+        let dctx = self.wo.backward(&cache.co, dy);
+        let l = dy.rows();
+        let d = self.wq.d_out();
+        let mut dq = Tensor::zeros(l, d);
+        let mut dk = Tensor::zeros(l, d);
+        let mut dv = Tensor::zeros(l, d);
+        for h in 0..self.n_heads {
+            let dctx_h = Self::slice_head(&dctx, h, dh);
+            let kh = Self::slice_head(&cache.k, h, dh);
+            let vh = Self::slice_head(&cache.v, h, dh);
+            let qh = Self::slice_head(&cache.q, h, dh);
+            let probs = &cache.probs[h];
+            // dA = dctx_h · Vᵀ ; dV = Aᵀ · dctx_h
+            let mut d_probs = dctx_h.matmul_nt(&vh);
+            let dvh = probs.matmul_tn(&dctx_h);
+            // Through softmax.
+            softmax_backward_rows(probs, &mut d_probs);
+            // Through scaling and QKᵀ.
+            d_probs.scale(scale);
+            let dqh = d_probs.matmul(&kh);
+            let dkh = d_probs.matmul_tn(&qh);
+            Self::unslice_head(&mut dq, &dqh, h, dh);
+            Self::unslice_head(&mut dk, &dkh, h, dh);
+            Self::unslice_head(&mut dv, &dvh, h, dh);
+        }
+        let mut dx = self.wq.backward(&cache.cq, &dq);
+        dx.add_assign(&self.wk.backward(&cache.ck, &dk));
+        dx.add_assign(&self.wv.backward(&cache.cv, &dv));
+        dx
+    }
+}
+
+impl HasParams for MultiHeadSelfAttention {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.wq.visit_params(f);
+        self.wk.visit_params(f);
+        self.wv.visit_params(f);
+        self.wo.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let attn = MultiHeadSelfAttention::new(8, 2, &mut rng);
+        let x = Tensor::xavier(5, 8, &mut rng);
+        let (y, cache) = attn.forward(&x);
+        assert_eq!(y.shape(), (5, 8));
+        assert_eq!(cache.probs.len(), 2);
+        assert_eq!(cache.probs[0].shape(), (5, 5));
+        // Attention rows are distributions.
+        for r in 0..5 {
+            let s: f32 = cache.probs[0].row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let attn = MultiHeadSelfAttention::new(8, 4, &mut rng);
+        let x = Tensor::xavier(3, 8, &mut rng);
+        let (y, _) = attn.forward(&x);
+        let y2 = attn.infer(&x);
+        for (a, b) in y.data().iter().zip(y2.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut attn = MultiHeadSelfAttention::new(4, 2, &mut rng);
+        let x = Tensor::xavier(3, 4, &mut rng);
+        let upstream = Tensor::xavier(3, 4, &mut rng);
+        let (_, cache) = attn.forward(&x);
+        let dx = attn.backward(&cache, &upstream);
+        let eps = 1e-3f32;
+        for idx in [0usize, 5, 11] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let num = (attn.infer(&xp).dot(&upstream) - attn.infer(&xm).dot(&upstream)) / (2.0 * eps);
+            assert!(
+                (num - dx.data()[idx]).abs() < 2e-2,
+                "dx[{idx}]: numeric {num} vs analytic {}",
+                dx.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let mut attn = MultiHeadSelfAttention::new(4, 1, &mut rng);
+        let x = Tensor::xavier(3, 4, &mut rng);
+        let upstream = Tensor::xavier(3, 4, &mut rng);
+        let (_, cache) = attn.forward(&x);
+        attn.backward(&cache, &upstream);
+        let eps = 1e-3f32;
+        for idx in [0usize, 7] {
+            let orig = attn.wq.w.value.data()[idx];
+            attn.wq.w.value.data_mut()[idx] = orig + eps;
+            let lp = attn.infer(&x).dot(&upstream);
+            attn.wq.w.value.data_mut()[idx] = orig - eps;
+            let lm = attn.infer(&x).dot(&upstream);
+            attn.wq.w.value.data_mut()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = attn.wq.w.grad.data()[idx];
+            assert!((num - ana).abs() < 2e-2, "dWq[{idx}]: {num} vs {ana}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "d must divide evenly")]
+    fn indivisible_heads_panic() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let _ = MultiHeadSelfAttention::new(6, 4, &mut rng);
+    }
+}

@@ -1,0 +1,17 @@
+//! Neural layers with explicit forward caches and backward passes.
+
+pub mod attention;
+pub mod block;
+pub mod embedding;
+pub mod ffn;
+pub mod layernorm;
+pub mod linear;
+pub mod param;
+
+pub use attention::{AttentionCache, MultiHeadSelfAttention};
+pub use block::{BlockCache, TransformerBlock};
+pub use embedding::{Embedding, EmbeddingCache};
+pub use ffn::{FeedForward, FfnCache};
+pub use layernorm::{LayerNorm, LayerNormCache};
+pub use linear::{Linear, LinearCache};
+pub use param::Param;

@@ -1,0 +1,126 @@
+//! Trainable parameters with gradient and AdamW moment buffers.
+
+use crate::tensor::Tensor;
+
+/// A trainable tensor plus its gradient accumulator and Adam moments.
+///
+/// Gradients are *accumulated* by layer backward passes; the optimizer
+/// consumes and clears them. Keeping the moments inside the parameter keeps
+/// the optimizer stateless apart from its step counter.
+#[derive(Debug, Clone)]
+pub struct Param {
+    pub value: Tensor,
+    pub grad: Tensor,
+    pub m: Tensor,
+    pub v: Tensor,
+    /// Whether AdamW applies weight decay to this parameter (biases and
+    /// layer-norm parameters conventionally skip decay).
+    pub decay: bool,
+}
+
+impl Param {
+    /// Wrap an initialized tensor as a decayed parameter.
+    pub fn new(value: Tensor) -> Self {
+        let (r, c) = value.shape();
+        Param {
+            value,
+            grad: Tensor::zeros(r, c),
+            m: Tensor::zeros(r, c),
+            v: Tensor::zeros(r, c),
+            decay: true,
+        }
+    }
+
+    /// Wrap a tensor as a non-decayed parameter (bias / layer norm).
+    pub fn new_no_decay(value: Tensor) -> Self {
+        Param {
+            decay: false,
+            ..Self::new(value)
+        }
+    }
+
+    /// Zero the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+
+    /// Number of scalar parameters.
+    pub fn numel(&self) -> usize {
+        self.value.numel()
+    }
+}
+
+/// Anything that owns parameters exposes them to the optimizer through this
+/// trait. Visit order must be deterministic.
+pub trait HasParams {
+    /// Call `f` on every owned parameter, in a stable order.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Total scalar parameter count.
+    fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.numel());
+        n
+    }
+
+    /// Zero all gradient accumulators.
+    fn zero_grads(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Global L2 norm of all gradients (for clipping).
+    fn grad_norm(&mut self) -> f32 {
+        let mut sq = 0.0f32;
+        self.visit_params(&mut |p| {
+            sq += p.grad.data().iter().map(|g| g * g).sum::<f32>();
+        });
+        sq.sqrt()
+    }
+
+    /// Scale all gradients by `s` (for clipping / batch averaging).
+    fn scale_grads(&mut self, s: f32) {
+        self.visit_params(&mut |p| p.grad.scale(s));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Two {
+        a: Param,
+        b: Param,
+    }
+
+    impl HasParams for Two {
+        fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+            f(&mut self.a);
+            f(&mut self.b);
+        }
+    }
+
+    #[test]
+    fn param_buffers_match_shape() {
+        let p = Param::new(Tensor::zeros(3, 4));
+        assert_eq!(p.grad.shape(), (3, 4));
+        assert_eq!(p.m.shape(), (3, 4));
+        assert!(p.decay);
+        let q = Param::new_no_decay(Tensor::zeros(1, 4));
+        assert!(!q.decay);
+    }
+
+    #[test]
+    fn visitor_counts_and_clears() {
+        let mut two = Two {
+            a: Param::new(Tensor::from_vec(1, 2, vec![1.0, 2.0])),
+            b: Param::new(Tensor::from_vec(2, 1, vec![3.0, 4.0])),
+        };
+        assert_eq!(two.param_count(), 4);
+        two.a.grad = Tensor::from_vec(1, 2, vec![3.0, 4.0]);
+        assert!((two.grad_norm() - 5.0).abs() < 1e-6);
+        two.scale_grads(2.0);
+        assert_eq!(two.a.grad.data(), &[6.0, 8.0]);
+        two.zero_grads();
+        assert_eq!(two.a.grad.data(), &[0.0, 0.0]);
+    }
+}

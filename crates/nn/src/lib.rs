@@ -1,0 +1,40 @@
+//! From-scratch neural substrate for the KGLink reproduction.
+//!
+//! The paper fine-tunes `bert-base-uncased` on an NVIDIA V100. Neither a
+//! pre-trained BERT checkpoint nor a GPU is available here, so this crate
+//! implements the *minimum complete* equivalent: a transformer encoder with
+//! explicit forward/backward passes (no external autodiff), a word-level
+//! tokenizer with BERT's special tokens, AdamW with linear learning-rate
+//! decay (the paper's optimizer settings), the DMLM distillation loss
+//! (Eq. 13–14), Kendall's uncertainty-weighted multi-task combination
+//! (Eq. 17), and a masked-language-model pre-training loop that plays the
+//! role of BERT's web-scale pre-training.
+//!
+//! Design notes:
+//!
+//! * Sequences are processed one at a time at their true length; mini-batch
+//!   semantics come from gradient accumulation, so no padding/attention
+//!   masks are needed.
+//! * Layers return explicit cache structs from `forward`; `backward`
+//!   consumes the cache and accumulates parameter gradients. This makes
+//!   multi-forward training steps (masked table + ground-truth table +
+//!   feature sequences) trivially correct.
+//! * Everything is deterministic under a seed.
+
+pub mod encoder;
+pub mod layers;
+pub mod loss;
+pub mod mlm;
+pub mod ops;
+pub mod optim;
+pub mod serialize;
+pub mod tensor;
+pub mod tokenizer;
+
+pub use encoder::{Encoder, EncoderCache, EncoderConfig};
+pub use layers::param::Param;
+pub use loss::{cross_entropy, dmlm_loss, UncertaintyWeights};
+pub use mlm::{MlmHead, MlmPretrainConfig, MlmPretrainer};
+pub use optim::{AdamW, AdamWConfig, LinearDecay};
+pub use tensor::Tensor;
+pub use tokenizer::{special, Tokenizer, Vocab};

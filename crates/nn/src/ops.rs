@@ -1,0 +1,179 @@
+//! Elementwise and row-wise numeric primitives with their derivatives.
+
+use crate::tensor::Tensor;
+
+/// Numerically stable in-place row-wise softmax.
+pub fn softmax_rows(x: &mut Tensor) {
+    let cols = x.cols();
+    for r in 0..x.rows() {
+        let row = x.row_mut(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum.max(f32::MIN_POSITIVE);
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+        debug_assert_eq!(row.len(), cols);
+    }
+}
+
+/// Softmax of a single slice, out of place.
+pub fn softmax(x: &[f32]) -> Vec<f32> {
+    let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut out: Vec<f32> = x.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = out.iter().sum();
+    let inv = 1.0 / sum.max(f32::MIN_POSITIVE);
+    for v in &mut out {
+        *v *= inv;
+    }
+    out
+}
+
+/// Log-softmax of a single slice.
+pub fn log_softmax(x: &[f32]) -> Vec<f32> {
+    let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let log_sum: f32 = x.iter().map(|&v| (v - max).exp()).sum::<f32>().ln() + max;
+    x.iter().map(|&v| v - log_sum).collect()
+}
+
+/// Backward through a row-wise softmax: given `probs = softmax(z)` and
+/// upstream gradient `dp`, returns `dz = probs ⊙ (dp - Σ probs ⊙ dp)`
+/// computed row by row, writing into `dp` in place.
+pub fn softmax_backward_rows(probs: &Tensor, dp: &mut Tensor) {
+    assert_eq!(probs.shape(), dp.shape());
+    for r in 0..probs.rows() {
+        let p = probs.row(r);
+        let g = dp.row_mut(r);
+        let dot: f32 = p.iter().zip(g.iter()).map(|(a, b)| a * b).sum();
+        for (gi, &pi) in g.iter_mut().zip(p) {
+            *gi = pi * (*gi - dot);
+        }
+    }
+}
+
+/// GELU activation (tanh approximation, as in BERT).
+#[inline]
+pub fn gelu(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * x * (1.0 + (C * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+/// Derivative of [`gelu`].
+#[inline]
+pub fn gelu_grad(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let x3 = x * x * x;
+    let inner = C * (x + 0.044_715 * x3);
+    let t = inner.tanh();
+    let sech2 = 1.0 - t * t;
+    0.5 * (1.0 + t) + 0.5 * x * sech2 * C * (1.0 + 3.0 * 0.044_715 * x * x)
+}
+
+/// Mean of a slice.
+#[inline]
+pub fn mean(x: &[f32]) -> f32 {
+    if x.is_empty() {
+        0.0
+    } else {
+        x.iter().sum::<f32>() / x.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut x = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        softmax_rows(&mut x);
+        for r in 0..2 {
+            let s: f32 = x.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+            assert!(x.row(r).iter().all(|&v| v > 0.0));
+        }
+        // Ordering preserved.
+        assert!(x.get(0, 2) > x.get(0, 1));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax(&[1.0, 2.0, 3.0]);
+        let b = softmax(&[1001.0, 1002.0, 1003.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn log_softmax_matches_ln_of_softmax() {
+        let x = [0.5f32, -1.0, 2.0];
+        let p = softmax(&x);
+        let lp = log_softmax(&x);
+        for (a, b) in p.iter().zip(&lp) {
+            assert!((a.ln() - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_backward_matches_finite_difference() {
+        let z = [0.3f32, -0.7, 1.1, 0.0];
+        let upstream = [0.25f32, -0.5, 0.1, 0.9];
+        // Analytic.
+        let probs = Tensor::from_vec(1, 4, softmax(&z));
+        let mut dp = Tensor::from_vec(1, 4, upstream.to_vec());
+        softmax_backward_rows(&probs, &mut dp);
+        // Numeric.
+        let eps = 1e-3f32;
+        for i in 0..4 {
+            let mut zp = z;
+            zp[i] += eps;
+            let mut zm = z;
+            zm[i] -= eps;
+            let f = |zz: &[f32]| -> f32 {
+                softmax(zz)
+                    .iter()
+                    .zip(&upstream)
+                    .map(|(p, u)| p * u)
+                    .sum()
+            };
+            let num = (f(&zp) - f(&zm)) / (2.0 * eps);
+            assert!(
+                (num - dp.get(0, i)).abs() < 1e-3,
+                "dim {i}: numeric {num} vs analytic {}",
+                dp.get(0, i)
+            );
+        }
+    }
+
+    #[test]
+    fn gelu_known_values() {
+        assert!((gelu(0.0)).abs() < 1e-7);
+        assert!((gelu(100.0) - 100.0).abs() < 1e-3, "large x ≈ identity");
+        assert!(gelu(-100.0).abs() < 1e-3, "very negative x ≈ 0");
+        assert!((gelu(1.0) - 0.8412).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gelu_grad_matches_finite_difference() {
+        for &x in &[-3.0f32, -1.0, -0.1, 0.0, 0.5, 2.0] {
+            let eps = 1e-3;
+            let num = (gelu(x + eps) - gelu(x - eps)) / (2.0 * eps);
+            assert!(
+                (num - gelu_grad(x)).abs() < 1e-3,
+                "x={x}: numeric {num} vs analytic {}",
+                gelu_grad(x)
+            );
+        }
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! AdamW with linear learning-rate decay.
+//!
+//! Matches the paper's optimizer settings: "AdamW … with ε = 1e-6 and an
+//! initial learning rate of 3e-5. The learning rate was linearly decayed
+//! without warm-up."
+
+use crate::layers::param::{HasParams, Param};
+use serde::{Deserialize, Serialize};
+
+/// AdamW hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdamWConfig {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    pub weight_decay: f32,
+    /// Global-norm gradient clipping threshold (0 disables).
+    pub clip_norm: f32,
+}
+
+impl Default for AdamWConfig {
+    fn default() -> Self {
+        AdamWConfig {
+            lr: 3e-5,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-6,
+            weight_decay: 0.01,
+            clip_norm: 1.0,
+        }
+    }
+}
+
+/// Linear decay schedule from the initial LR to zero over `total_steps`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearDecay {
+    pub total_steps: usize,
+}
+
+impl LinearDecay {
+    /// LR multiplier at `step` (clamped to a small floor so late steps still
+    /// move).
+    pub fn factor(&self, step: usize) -> f32 {
+        if self.total_steps == 0 {
+            return 1.0;
+        }
+        let remaining = 1.0 - (step as f32 / self.total_steps as f32);
+        remaining.max(0.05)
+    }
+}
+
+/// The AdamW optimizer. Moment buffers live inside each [`Param`]; the
+/// optimizer only tracks the step counter and schedule.
+#[derive(Debug, Clone)]
+pub struct AdamW {
+    pub config: AdamWConfig,
+    pub schedule: Option<LinearDecay>,
+    step: usize,
+}
+
+impl AdamW {
+    pub fn new(config: AdamWConfig, schedule: Option<LinearDecay>) -> Self {
+        AdamW {
+            config,
+            schedule,
+            step: 0,
+        }
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> usize {
+        self.step
+    }
+
+    /// Current effective learning rate.
+    pub fn current_lr(&self) -> f32 {
+        let base = self.config.lr;
+        match self.schedule {
+            Some(s) => base * s.factor(self.step),
+            None => base,
+        }
+    }
+
+    /// Apply one update to everything `model` owns, then zero gradients.
+    pub fn step(&mut self, model: &mut dyn HasParams) {
+        // Gradient clipping by global norm.
+        if self.config.clip_norm > 0.0 {
+            let norm = model.grad_norm();
+            if norm > self.config.clip_norm {
+                model.scale_grads(self.config.clip_norm / norm);
+            }
+        }
+        self.step += 1;
+        let lr = self.current_lr();
+        let c = self.config;
+        let t = self.step as f32;
+        let bias1 = 1.0 - c.beta1.powf(t);
+        let bias2 = 1.0 - c.beta2.powf(t);
+        model.visit_params(&mut |p: &mut Param| {
+            let decay = if p.decay { c.weight_decay } else { 0.0 };
+            let g = p.grad.data();
+            let m = p.m.data_mut();
+            let v = p.v.data_mut();
+            let w = p.value.data_mut();
+            for i in 0..g.len() {
+                m[i] = c.beta1 * m[i] + (1.0 - c.beta1) * g[i];
+                v[i] = c.beta2 * v[i] + (1.0 - c.beta2) * g[i] * g[i];
+                let m_hat = m[i] / bias1;
+                let v_hat = v[i] / bias2;
+                w[i] -= lr * (m_hat / (v_hat.sqrt() + c.eps) + decay * w[i]);
+            }
+            p.grad.fill_zero();
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    /// A 1-D quadratic bowl: loss = Σ (w - target)².
+    struct Bowl {
+        w: Param,
+    }
+
+    impl HasParams for Bowl {
+        fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+            f(&mut self.w);
+        }
+    }
+
+    impl Bowl {
+        fn loss_and_grad(&mut self, target: &[f32]) -> f32 {
+            let mut loss = 0.0;
+            for i in 0..target.len() {
+                let diff = self.w.value.data()[i] - target[i];
+                loss += diff * diff;
+                self.w.grad.data_mut()[i] += 2.0 * diff;
+            }
+            loss
+        }
+    }
+
+    #[test]
+    fn adamw_minimizes_a_quadratic() {
+        let mut bowl = Bowl {
+            w: Param::new(Tensor::from_vec(1, 3, vec![5.0, -3.0, 1.0])),
+        };
+        let target = [1.0f32, 2.0, 0.0];
+        let mut opt = AdamW::new(
+            AdamWConfig {
+                lr: 0.1,
+                weight_decay: 0.0,
+                clip_norm: 0.0,
+                ..Default::default()
+            },
+            None,
+        );
+        let initial = bowl.loss_and_grad(&target);
+        bowl.zero_grads();
+        for _ in 0..500 {
+            bowl.loss_and_grad(&target);
+            opt.step(&mut bowl);
+        }
+        let after = {
+            bowl.zero_grads();
+            bowl.loss_and_grad(&target)
+        };
+        assert!(after < initial * 0.01, "loss {initial} -> {after}");
+    }
+
+    #[test]
+    fn step_zeroes_gradients() {
+        let mut bowl = Bowl {
+            w: Param::new(Tensor::from_vec(1, 2, vec![1.0, 1.0])),
+        };
+        bowl.loss_and_grad(&[0.0, 0.0]);
+        let mut opt = AdamW::new(AdamWConfig::default(), None);
+        opt.step(&mut bowl);
+        assert!(bowl.w.grad.data().iter().all(|&g| g == 0.0));
+        assert_eq!(opt.steps(), 1);
+    }
+
+    #[test]
+    fn linear_decay_schedule() {
+        let s = LinearDecay { total_steps: 100 };
+        assert_eq!(s.factor(0), 1.0);
+        assert!((s.factor(50) - 0.5).abs() < 1e-6);
+        assert!((s.factor(99) - 0.01).abs() < 0.05);
+        assert_eq!(s.factor(1000), 0.05, "floored");
+        let zero = LinearDecay { total_steps: 0 };
+        assert_eq!(zero.factor(10), 1.0);
+    }
+
+    #[test]
+    fn lr_decays_across_steps() {
+        let mut bowl = Bowl {
+            w: Param::new(Tensor::from_vec(1, 1, vec![1.0])),
+        };
+        let mut opt = AdamW::new(
+            AdamWConfig::default(),
+            Some(LinearDecay { total_steps: 10 }),
+        );
+        let lr0 = opt.current_lr();
+        for _ in 0..5 {
+            bowl.loss_and_grad(&[0.0]);
+            opt.step(&mut bowl);
+        }
+        assert!(opt.current_lr() < lr0);
+    }
+
+    #[test]
+    fn clipping_bounds_update_magnitude() {
+        let mut bowl = Bowl {
+            w: Param::new(Tensor::from_vec(1, 2, vec![0.0, 0.0])),
+        };
+        // Huge gradient.
+        bowl.w.grad = Tensor::from_vec(1, 2, vec![1e6, 1e6]);
+        let mut opt = AdamW::new(
+            AdamWConfig {
+                clip_norm: 1.0,
+                ..Default::default()
+            },
+            None,
+        );
+        opt.step(&mut bowl);
+        // After clipping, first-step |update| <= lr * ~1 per coord.
+        for &w in bowl.w.value.data() {
+            assert!(w.abs() <= opt.config.lr * 2.0, "w = {w}");
+        }
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_without_gradient() {
+        let mut bowl = Bowl {
+            w: Param::new(Tensor::from_vec(1, 1, vec![10.0])),
+        };
+        let mut opt = AdamW::new(
+            AdamWConfig {
+                lr: 0.1,
+                weight_decay: 0.1,
+                clip_norm: 0.0,
+                ..Default::default()
+            },
+            None,
+        );
+        // Zero gradient: only decay acts.
+        opt.step(&mut bowl);
+        assert!(bowl.w.value.data()[0] < 10.0);
+    }
+}

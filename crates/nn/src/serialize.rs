@@ -1,0 +1,178 @@
+//! Weight serialization.
+//!
+//! A tiny self-describing binary format (`bytes`-based) so one pre-trained
+//! encoder can be reused across the experiment grid instead of re-running
+//! MLM pre-training for every table/figure binary:
+//!
+//! ```text
+//! magic "KGLW" | u32 n_params | for each: u32 rows | u32 cols | f32 data…
+//! ```
+//!
+//! Parameters are identified positionally via the deterministic
+//! [`HasParams::visit_params`] order, so the loading model must have the
+//! exact same architecture.
+
+use crate::layers::param::HasParams;
+use crate::tensor::Tensor;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"KGLW";
+
+/// Serialization failures.
+#[derive(Debug, PartialEq, Eq)]
+pub enum LoadError {
+    BadMagic,
+    Truncated,
+    CountMismatch { expected: usize, found: usize },
+    ShapeMismatch { index: usize },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::BadMagic => write!(f, "not a KGLW weight blob"),
+            LoadError::Truncated => write!(f, "weight blob is truncated"),
+            LoadError::CountMismatch { expected, found } => {
+                write!(f, "parameter count mismatch: model has {expected}, blob has {found}")
+            }
+            LoadError::ShapeMismatch { index } => {
+                write!(f, "shape mismatch at parameter {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// Serialize every parameter value of `model` into a byte blob.
+pub fn save_params(model: &mut dyn HasParams) -> Bytes {
+    let mut tensors: Vec<Tensor> = Vec::new();
+    model.visit_params(&mut |p| tensors.push(p.value.clone()));
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(tensors.len() as u32);
+    for t in &tensors {
+        buf.put_u32_le(t.rows() as u32);
+        buf.put_u32_le(t.cols() as u32);
+        for &v in t.data() {
+            buf.put_f32_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Load a blob produced by [`save_params`] into `model` (same architecture).
+pub fn load_params(model: &mut dyn HasParams, blob: &[u8]) -> Result<(), LoadError> {
+    let mut buf = blob;
+    if buf.remaining() < 8 || &buf[..4] != MAGIC {
+        return Err(LoadError::BadMagic);
+    }
+    buf.advance(4);
+    let count = buf.get_u32_le() as usize;
+    let mut tensors = Vec::with_capacity(count);
+    for _ in 0..count {
+        if buf.remaining() < 8 {
+            return Err(LoadError::Truncated);
+        }
+        let rows = buf.get_u32_le() as usize;
+        let cols = buf.get_u32_le() as usize;
+        if buf.remaining() < rows * cols * 4 {
+            return Err(LoadError::Truncated);
+        }
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            data.push(buf.get_f32_le());
+        }
+        tensors.push(Tensor::from_vec(rows, cols, data));
+    }
+    let mut expected = 0usize;
+    model.visit_params(&mut |_| expected += 1);
+    if expected != tensors.len() {
+        return Err(LoadError::CountMismatch {
+            expected,
+            found: tensors.len(),
+        });
+    }
+    let mut idx = 0usize;
+    let mut shape_err = None;
+    model.visit_params(&mut |p| {
+        if shape_err.is_none() {
+            if p.value.shape() != tensors[idx].shape() {
+                shape_err = Some(idx);
+            } else {
+                p.value = tensors[idx].clone();
+            }
+        }
+        idx += 1;
+    });
+    match shape_err {
+        Some(index) => Err(LoadError::ShapeMismatch { index }),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::{Encoder, EncoderConfig};
+
+    fn cfg() -> EncoderConfig {
+        EncoderConfig {
+            vocab_size: 16,
+            d_model: 8,
+            n_heads: 2,
+            d_ff: 16,
+            n_layers: 1,
+            max_len: 8,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let mut a = Encoder::new(cfg());
+        let blob = save_params(&mut a);
+        let mut b = Encoder::new(EncoderConfig { seed: 999, ..cfg() });
+        assert_ne!(a.infer(&[2, 5, 3]), b.infer(&[2, 5, 3]), "different seeds differ");
+        load_params(&mut b, &blob).unwrap();
+        assert_eq!(a.infer(&[2, 5, 3]), b.infer(&[2, 5, 3]));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut e = Encoder::new(cfg());
+        assert_eq!(load_params(&mut e, b"NOPE1234"), Err(LoadError::BadMagic));
+        assert_eq!(load_params(&mut e, b""), Err(LoadError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let mut e = Encoder::new(cfg());
+        let blob = save_params(&mut e);
+        let cut = &blob[..blob.len() / 2];
+        assert_eq!(load_params(&mut e, cut), Err(LoadError::Truncated));
+    }
+
+    #[test]
+    fn architecture_mismatch_rejected() {
+        let mut a = Encoder::new(cfg());
+        let blob = save_params(&mut a);
+        let mut bigger = Encoder::new(EncoderConfig {
+            n_layers: 2,
+            ..cfg()
+        });
+        assert!(matches!(
+            load_params(&mut bigger, &blob),
+            Err(LoadError::CountMismatch { .. })
+        ));
+        let mut wider = Encoder::new(EncoderConfig {
+            d_model: 16,
+            d_ff: 32,
+            ..cfg()
+        });
+        assert!(matches!(
+            load_params(&mut wider, &blob),
+            Err(LoadError::ShapeMismatch { .. }) | Err(LoadError::Truncated)
+        ));
+    }
+}

@@ -1,0 +1,370 @@
+//! A minimal row-major 2-D `f32` tensor.
+//!
+//! Everything the transformer needs is expressible with (seq_len × dim)
+//! matrices, so this stays deliberately 2-D. The matmul kernel uses the
+//! i-k-j loop order so the inner loop is a unit-stride FMA the compiler
+//! auto-vectorizes; on the single-core machine this reproduction targets
+//! it reaches a few GFLOP/s, enough for the scaled-down experiments.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A dense row-major matrix of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// All-zeros tensor.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Tensor from existing data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Tensor { rows, cols, data }
+    }
+
+    /// Xavier/Glorot-uniform initialization.
+    pub fn xavier(rows: usize, cols: usize, rng: &mut StdRng) -> Self {
+        let limit = (6.0 / (rows + cols) as f32).sqrt();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-limit..limit))
+            .collect();
+        Tensor { rows, cols, data }
+    }
+
+    /// Normal(0, std) initialization (BERT uses std = 0.02).
+    pub fn normal(rows: usize, cols: usize, std: f32, rng: &mut StdRng) -> Self {
+        // Box-Muller from two uniforms.
+        let mut data = Vec::with_capacity(rows * cols);
+        while data.len() < rows * cols {
+            let u1: f32 = rng.gen_range(1e-7..1.0f32);
+            let u2: f32 = rng.gen_range(0.0..1.0f32);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            data.push(r * theta.cos() * std);
+            if data.len() < rows * cols {
+                data.push(r * theta.sin() * std);
+            }
+        }
+        Tensor { rows, cols, data }
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Immutable view of the raw data.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the raw data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// One row as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// One row as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self × other`.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        let n = other.cols;
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (k, &a_ik) in a_row.iter().enumerate() {
+                if a_ik == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[k * n..(k + 1) * n];
+                for j in 0..n {
+                    out_row[j] += a_ik * b_row[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ × other` without materializing the transpose.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rows, other.rows, "matmul_tn shape mismatch");
+        let mut out = Tensor::zeros(self.cols, other.cols);
+        let n = other.cols;
+        for k in 0..self.rows {
+            let a_row = self.row(k);
+            let b_row = other.row(k);
+            for (i, &a_ki) in a_row.iter().enumerate() {
+                if a_ki == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for j in 0..n {
+                    out_row[j] += a_ki * b_row[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// `self × otherᵀ` without materializing the transpose.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
+        let mut out = Tensor::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..other.rows {
+                let b_row = other.row(j);
+                let mut acc = 0.0f32;
+                for k in 0..self.cols {
+                    acc += a_row[k] * b_row[k];
+                }
+                out.data[i * other.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Element-wise in-place addition.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "add shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// `self += alpha * other`.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Element-wise sum returning a new tensor.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        let mut out = self.clone();
+        out.add_assign(other);
+        out
+    }
+
+    /// Multiply every element by a scalar, in place.
+    pub fn scale(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Set all elements to zero (keeps allocation).
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Add a row vector (1×cols) to every row.
+    pub fn add_row_broadcast(&mut self, row: &Tensor) {
+        assert_eq!(row.rows, 1, "broadcast source must be a row vector");
+        assert_eq!(row.cols, self.cols, "broadcast width mismatch");
+        for r in 0..self.rows {
+            let dst = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (d, &s) in dst.iter_mut().zip(&row.data) {
+                *d += s;
+            }
+        }
+    }
+
+    /// Sum of all rows as a 1×cols tensor.
+    pub fn sum_rows(&self) -> Tensor {
+        let mut out = Tensor::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for (o, &v) in out.data.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Dot product of two equally-shaped tensors viewed as flat vectors.
+    pub fn dot(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape(), other.shape());
+        self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum()
+    }
+
+    /// Number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn t(rows: usize, cols: usize, vals: &[f32]) -> Tensor {
+        Tensor::from_vec(rows, cols, vals.to_vec())
+    }
+
+    #[test]
+    fn matmul_hand_example() {
+        let a = t(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Tensor::xavier(4, 3, &mut rng);
+        let b = Tensor::xavier(4, 5, &mut rng);
+        let fast = a.matmul_tn(&b);
+        let slow = a.transpose().matmul(&b);
+        for (x, y) in fast.data().iter().zip(slow.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Tensor::xavier(4, 3, &mut rng);
+        let b = Tensor::xavier(5, 3, &mut rng);
+        let fast = a.matmul_nt(&b);
+        let slow = a.matmul(&b.transpose());
+        for (x, y) in fast.data().iter().zip(slow.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = t(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn broadcast_and_sum_rows_are_adjoint() {
+        let mut a = Tensor::zeros(3, 2);
+        let row = t(1, 2, &[1.0, -2.0]);
+        a.add_row_broadcast(&row);
+        assert_eq!(a.row(2), &[1.0, -2.0]);
+        let s = a.sum_rows();
+        assert_eq!(s.data(), &[3.0, -6.0]);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = t(1, 3, &[1.0, 2.0, 3.0]);
+        let b = t(1, 3, &[1.0, 1.0, 1.0]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.data(), &[1.5, 2.5, 3.5]);
+        a.scale(2.0);
+        assert_eq!(a.data(), &[3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn xavier_respects_limit() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = Tensor::xavier(10, 10, &mut rng);
+        let limit = (6.0f32 / 20.0).sqrt();
+        assert!(w.data().iter().all(|v| v.abs() <= limit));
+    }
+
+    #[test]
+    fn normal_has_roughly_right_std() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = Tensor::normal(100, 100, 0.02, &mut rng);
+        let mean: f32 = w.data().iter().sum::<f32>() / w.numel() as f32;
+        let var: f32 = w.data().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / w.numel() as f32;
+        assert!(mean.abs() < 0.001, "mean {mean}");
+        assert!((var.sqrt() - 0.02).abs() < 0.002, "std {}", var.sqrt());
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn norm_and_dot() {
+        let a = t(1, 2, &[3.0, 4.0]);
+        assert!((a.norm() - 5.0).abs() < 1e-6);
+        let b = t(1, 2, &[1.0, 2.0]);
+        assert!((a.dot(&b) - 11.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,103 @@
+//! Okapi BM25 scoring (paper Eq. 1–2).
+
+use serde::{Deserialize, Serialize};
+
+/// Tunable BM25 parameters `k1` and `b`.
+///
+/// Defaults match Elasticsearch's `similarity: BM25` defaults, which is what
+/// the paper's setup used: `k1 = 1.2`, `b = 0.75`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bm25Params {
+    /// Term-frequency saturation. Higher values let repeated terms keep
+    /// contributing.
+    pub k1: f32,
+    /// Length normalization strength in `[0, 1]`.
+    pub b: f32,
+}
+
+impl Default for Bm25Params {
+    fn default() -> Self {
+        Bm25Params { k1: 1.2, b: 0.75 }
+    }
+}
+
+impl Bm25Params {
+    /// Inverse document frequency of a term appearing in `doc_freq` of
+    /// `doc_count` documents (Eq. 2):
+    ///
+    /// `IDF(w) = ln( (N - n(w) + 0.5) / (n(w) + 0.5) + 1 )`
+    ///
+    /// This variant is always positive, even for terms present in more than
+    /// half the corpus.
+    #[inline]
+    pub fn idf(doc_count: usize, doc_freq: usize) -> f32 {
+        let n = doc_count as f32;
+        let df = doc_freq as f32;
+        ((n - df + 0.5) / (df + 0.5) + 1.0).ln()
+    }
+
+    /// Per-term BM25 contribution for a document (one summand of Eq. 1):
+    ///
+    /// `idf * tf*(k1+1) / (tf + k1*(1 - b + b*len/avg_len))`
+    #[inline]
+    pub fn term_score(&self, idf: f32, tf: f32, doc_len: f32, avg_len: f32) -> f32 {
+        debug_assert!(tf >= 0.0 && doc_len >= 0.0 && avg_len > 0.0);
+        let norm = self.k1 * (1.0 - self.b + self.b * doc_len / avg_len);
+        idf * tf * (self.k1 + 1.0) / (tf + norm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idf_is_positive_and_decreasing_in_df() {
+        let n = 1000;
+        let rare = Bm25Params::idf(n, 1);
+        let common = Bm25Params::idf(n, 900);
+        assert!(rare > common);
+        assert!(common > 0.0, "the +1 variant never goes negative");
+    }
+
+    #[test]
+    fn idf_matches_hand_computation() {
+        // N=10, n=2: ln((10-2+0.5)/(2+0.5)+1) = ln(4.4) ≈ 1.4816
+        let v = Bm25Params::idf(10, 2);
+        assert!((v - 4.4f32.ln()).abs() < 1e-6, "{v}");
+    }
+
+    #[test]
+    fn term_score_matches_hand_computation() {
+        let p = Bm25Params { k1: 1.2, b: 0.75 };
+        // idf=1, tf=2, len=4, avg=4 => 1 * 2*2.2 / (2 + 1.2*1) = 4.4/3.2 = 1.375
+        let s = p.term_score(1.0, 2.0, 4.0, 4.0);
+        assert!((s - 1.375).abs() < 1e-6, "{s}");
+    }
+
+    #[test]
+    fn term_score_saturates_with_tf() {
+        let p = Bm25Params::default();
+        let s1 = p.term_score(1.0, 1.0, 10.0, 10.0);
+        let s2 = p.term_score(1.0, 2.0, 10.0, 10.0);
+        let s100 = p.term_score(1.0, 100.0, 10.0, 10.0);
+        assert!(s2 > s1);
+        assert!(s100 < (p.k1 + 1.0), "upper bound is idf*(k1+1)");
+    }
+
+    #[test]
+    fn longer_documents_score_lower() {
+        let p = Bm25Params::default();
+        let short = p.term_score(1.0, 1.0, 2.0, 10.0);
+        let long = p.term_score(1.0, 1.0, 50.0, 10.0);
+        assert!(short > long);
+    }
+
+    #[test]
+    fn b_zero_disables_length_normalization() {
+        let p = Bm25Params { k1: 1.2, b: 0.0 };
+        let short = p.term_score(1.0, 1.0, 2.0, 10.0);
+        let long = p.term_score(1.0, 1.0, 50.0, 10.0);
+        assert_eq!(short, long);
+    }
+}

@@ -1,0 +1,24 @@
+//! Full-text entity retrieval for KGLink.
+//!
+//! The original system indexes WikiData in Elasticsearch and uses its BM25
+//! scores as *linking scores* between table cell mentions and KG entities
+//! (paper Eq. 1–2). This crate is the drop-in substrate:
+//!
+//! * [`tokenize`] — the analyzer (lowercasing, alphanumeric word splitting);
+//! * [`InvertedIndex`] — term → postings with term frequencies, document
+//!   lengths, and corpus statistics;
+//! * [`Bm25Params`] / scoring — Okapi BM25 exactly as in the paper, with the
+//!   `ln(1 + (N - n + 0.5)/(n + 0.5))` IDF variant (Eq. 2);
+//! * [`EntitySearcher`] — the convenience layer that indexes a
+//!   [`kglink_kg::KnowledgeGraph`] (labels + aliases, optionally
+//!   descriptions) and returns scored entity candidates for a mention.
+
+pub mod bm25;
+pub mod index;
+pub mod searcher;
+pub mod tokenize;
+
+pub use bm25::Bm25Params;
+pub use index::{DocId, InvertedIndex, SearchHit};
+pub use searcher::EntitySearcher;
+pub use tokenize::tokenize;

@@ -1,0 +1,129 @@
+//! Entity-level retrieval over a knowledge graph.
+
+use crate::bm25::Bm25Params;
+use crate::index::{InvertedIndex, SearchHit};
+use kglink_kg::{EntityId, KnowledgeGraph};
+
+/// A BM25 searcher over the entities of a knowledge graph.
+///
+/// This is the reproduction's stand-in for the Elasticsearch deployment in
+/// the paper's experimental setup ("We used Elasticsearch … to index the
+/// WikiData KG and generate the BM25 entity linking scores for the KG entity
+/// callback"). Labels and aliases are indexed; descriptions are optional
+/// (off by default — WikiData linking in the paper matches against entity
+/// labels, and indexing long descriptions dilutes length normalization).
+#[derive(Debug)]
+pub struct EntitySearcher {
+    index: InvertedIndex,
+}
+
+impl EntitySearcher {
+    /// Index every entity of `graph` (labels + aliases).
+    pub fn build(graph: &KnowledgeGraph) -> Self {
+        Self::build_with(graph, Bm25Params::default(), false)
+    }
+
+    /// Index with explicit parameters; `index_descriptions` additionally
+    /// indexes the description field.
+    pub fn build_with(graph: &KnowledgeGraph, params: Bm25Params, index_descriptions: bool) -> Self {
+        let mut index = InvertedIndex::new(params);
+        for (id, entity) in graph.entities() {
+            for text in entity.searchable_texts() {
+                index.add_document(id.0, text);
+            }
+            if index_descriptions && !entity.description.is_empty() {
+                index.add_document(id.0, &entity.description);
+            }
+        }
+        index.finish();
+        EntitySearcher { index }
+    }
+
+    /// Retrieve up to `k` candidate entities for a cell mention, with BM25
+    /// linking scores, best first.
+    pub fn link_mention(&self, mention: &str, k: usize) -> Vec<(EntityId, f32)> {
+        self.index
+            .search(mention, k)
+            .into_iter()
+            .map(|SearchHit { doc, score }| (EntityId(doc), score))
+            .collect()
+    }
+
+    /// BM25 score of one specific entity for a mention, if they share terms.
+    pub fn score(&self, mention: &str, entity: EntityId) -> Option<f32> {
+        self.index.score_doc(mention, entity.0)
+    }
+
+    /// The underlying index (for statistics).
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kglink_kg::{Entity, KgBuilder, NeSchema};
+
+    fn graph() -> (KnowledgeGraph, EntityId, EntityId, EntityId) {
+        let mut b = KgBuilder::new();
+        let musician = b.add_type("Musician", None);
+        let steele = b.add_instance(
+            Entity::new("Peter Steele", NeSchema::Person).with_alias("P. Steele"),
+            musician,
+        );
+        let album_ty = b.add_type("Album", None);
+        let rust_album = b.add_instance(Entity::new("Rust", NeSchema::Work), album_ty);
+        (b.build(), musician, steele, rust_album)
+    }
+
+    #[test]
+    fn link_mention_finds_exact_entity() {
+        let (g, _, steele, _) = graph();
+        let s = EntitySearcher::build(&g);
+        let hits = s.link_mention("Peter Steele", 5);
+        assert_eq!(hits[0].0, steele);
+        assert!(hits[0].1 > 0.0);
+    }
+
+    #[test]
+    fn aliases_are_searchable() {
+        let (g, _, steele, _) = graph();
+        let s = EntitySearcher::build(&g);
+        let hits = s.link_mention("P. Steele", 5);
+        assert!(hits.iter().any(|&(e, _)| e == steele));
+    }
+
+    #[test]
+    fn unrelated_mentions_return_empty() {
+        let (g, ..) = graph();
+        let s = EntitySearcher::build(&g);
+        assert!(s.link_mention("cucumber sandwich", 5).is_empty());
+    }
+
+    #[test]
+    fn score_is_consistent_with_ranking() {
+        let (g, _, steele, _) = graph();
+        let s = EntitySearcher::build(&g);
+        let hits = s.link_mention("Steele", 5);
+        let direct = s.score("Steele", steele).unwrap();
+        let ranked = hits.iter().find(|&&(e, _)| e == steele).unwrap().1;
+        assert!((direct - ranked).abs() < 1e-5);
+    }
+
+    #[test]
+    fn descriptions_can_be_indexed() {
+        let mut b = KgBuilder::new();
+        let ty = b.add_type("Scientist", None);
+        let e = b.add_instance(
+            Entity::new("Ada Example", NeSchema::Person).with_description("pioneering computer scientist"),
+            ty,
+        );
+        let g = b.build();
+        let without = EntitySearcher::build(&g);
+        assert!(without.link_mention("pioneering computer", 5).is_empty());
+        let with = EntitySearcher::build_with(&g, Bm25Params::default(), true);
+        let hits = with.link_mention("pioneering computer", 5);
+        assert!(hits.iter().any(|&(id, _)| id == e));
+    }
+}

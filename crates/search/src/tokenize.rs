@@ -1,0 +1,74 @@
+//! The index/query analyzer.
+//!
+//! Matches what Elasticsearch's `standard` analyzer does to entity labels:
+//! Unicode-aware lowercasing and splitting on non-alphanumeric boundaries.
+//! Digits are kept as tokens so gene symbols like `BRC1` survive (split into
+//! `brc` + `1` would lose retrieval precision, so alphanumeric runs stay
+//! together).
+
+/// Split `text` into lowercase alphanumeric tokens.
+///
+/// A token is a maximal run of alphanumeric characters; everything else is a
+/// separator. Output preserves input order and may contain duplicates.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            for lower in ch.to_lowercase() {
+                current.push(lower);
+            }
+        } else if !current.is_empty() {
+            tokens.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// Tokenize and deduplicate, preserving first-occurrence order. Queries use
+/// this so a repeated word does not double-count BM25 contributions.
+pub fn tokenize_unique(text: &str) -> Vec<String> {
+    let mut tokens = tokenize(text);
+    let mut seen = std::collections::HashSet::with_capacity(tokens.len());
+    tokens.retain(|t| seen.insert(t.clone()));
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_punctuation_and_lowercases() {
+        assert_eq!(tokenize("Peter Steele"), vec!["peter", "steele"]);
+        assert_eq!(tokenize("P. Steele-Jones"), vec!["p", "steele", "jones"]);
+    }
+
+    #[test]
+    fn keeps_alphanumeric_runs_together() {
+        assert_eq!(tokenize("BRC1"), vec!["brc1"]);
+        assert_eq!(tokenize("alpha-2 synthase"), vec!["alpha", "2", "synthase"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only_inputs_yield_nothing() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("--- !!! ---").is_empty());
+    }
+
+    #[test]
+    fn unicode_lowercasing() {
+        assert_eq!(tokenize("Österreich"), vec!["österreich"]);
+    }
+
+    #[test]
+    fn unique_preserves_order() {
+        assert_eq!(
+            tokenize_unique("the cat and the hat"),
+            vec!["the", "cat", "and", "hat"]
+        );
+    }
+}

@@ -1,0 +1,215 @@
+//! CTA evaluation metrics: accuracy, weighted/macro F1, per-class reports.
+//!
+//! These mirror scikit-learn's definitions, which is what the paper (and
+//! every baseline it cites) reports: *weighted F1* averages per-class F1
+//! weighted by class support in the ground truth.
+
+use crate::dataset::LabelId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Aggregate evaluation result.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalSummary {
+    /// Fraction of columns whose predicted label equals the ground truth.
+    pub accuracy: f64,
+    /// Support-weighted mean of per-class F1.
+    pub weighted_f1: f64,
+    /// Unweighted mean of per-class F1 over classes with support.
+    pub macro_f1: f64,
+    /// Number of evaluated columns.
+    pub support: usize,
+}
+
+impl EvalSummary {
+    /// Compute metrics from parallel prediction/truth slices.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    pub fn compute(predictions: &[LabelId], truths: &[LabelId]) -> Self {
+        assert_eq!(predictions.len(), truths.len());
+        let n = truths.len();
+        if n == 0 {
+            return EvalSummary {
+                accuracy: 0.0,
+                weighted_f1: 0.0,
+                macro_f1: 0.0,
+                support: 0,
+            };
+        }
+        let correct = predictions
+            .iter()
+            .zip(truths)
+            .filter(|(p, t)| p == t)
+            .count();
+        let report = per_class_report(predictions, truths);
+        let mut weighted = 0.0;
+        let mut macro_sum = 0.0;
+        let mut classes = 0usize;
+        for r in report.values() {
+            if r.support > 0 {
+                weighted += r.f1 * r.support as f64;
+                macro_sum += r.f1;
+                classes += 1;
+            }
+        }
+        EvalSummary {
+            accuracy: correct as f64 / n as f64,
+            weighted_f1: weighted / n as f64,
+            macro_f1: if classes > 0 {
+                macro_sum / classes as f64
+            } else {
+                0.0
+            },
+            support: n,
+        }
+    }
+
+    /// Accuracy as a percentage, the unit used in the paper's tables.
+    pub fn accuracy_pct(&self) -> f64 {
+        self.accuracy * 100.0
+    }
+
+    /// Weighted F1 as a percentage.
+    pub fn weighted_f1_pct(&self) -> f64 {
+        self.weighted_f1 * 100.0
+    }
+}
+
+/// Precision/recall/F1/support for one class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassReport {
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+    /// Ground-truth occurrences of this class.
+    pub support: usize,
+}
+
+/// Per-class precision/recall/F1.
+pub fn per_class_report(
+    predictions: &[LabelId],
+    truths: &[LabelId],
+) -> HashMap<LabelId, ClassReport> {
+    assert_eq!(predictions.len(), truths.len());
+    let mut tp: HashMap<LabelId, usize> = HashMap::new();
+    let mut fp: HashMap<LabelId, usize> = HashMap::new();
+    let mut fn_: HashMap<LabelId, usize> = HashMap::new();
+    let mut support: HashMap<LabelId, usize> = HashMap::new();
+    for (&p, &t) in predictions.iter().zip(truths) {
+        *support.entry(t).or_insert(0) += 1;
+        if p == t {
+            *tp.entry(t).or_insert(0) += 1;
+        } else {
+            *fp.entry(p).or_insert(0) += 1;
+            *fn_.entry(t).or_insert(0) += 1;
+        }
+    }
+    let mut all_classes: Vec<LabelId> = support
+        .keys()
+        .chain(fp.keys())
+        .copied()
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    all_classes.sort_unstable();
+    let mut out = HashMap::with_capacity(all_classes.len());
+    for c in all_classes {
+        let tp_c = *tp.get(&c).unwrap_or(&0) as f64;
+        let fp_c = *fp.get(&c).unwrap_or(&0) as f64;
+        let fn_c = *fn_.get(&c).unwrap_or(&0) as f64;
+        let precision = if tp_c + fp_c > 0.0 { tp_c / (tp_c + fp_c) } else { 0.0 };
+        let recall = if tp_c + fn_c > 0.0 { tp_c / (tp_c + fn_c) } else { 0.0 };
+        let f1 = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
+        out.insert(
+            c,
+            ClassReport {
+                precision,
+                recall,
+                f1,
+                support: *support.get(&c).unwrap_or(&0),
+            },
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(ids: &[u32]) -> Vec<LabelId> {
+        ids.iter().map(|&i| LabelId(i)).collect()
+    }
+
+    #[test]
+    fn perfect_predictions() {
+        let s = EvalSummary::compute(&l(&[0, 1, 2]), &l(&[0, 1, 2]));
+        assert_eq!(s.accuracy, 1.0);
+        assert_eq!(s.weighted_f1, 1.0);
+        assert_eq!(s.macro_f1, 1.0);
+        assert_eq!(s.support, 3);
+    }
+
+    #[test]
+    fn all_wrong_predictions() {
+        let s = EvalSummary::compute(&l(&[1, 2, 0]), &l(&[0, 1, 2]));
+        assert_eq!(s.accuracy, 0.0);
+        assert_eq!(s.weighted_f1, 0.0);
+    }
+
+    #[test]
+    fn weighted_f1_matches_sklearn_example() {
+        // truths:      [0,0,0,0, 1,1]  preds: [0,0,0,1, 1,0]
+        // class0: tp=3 fp=1 fn=1 -> p=0.75 r=0.75 f1=0.75, support 4
+        // class1: tp=1 fp=1 fn=1 -> p=0.5  r=0.5  f1=0.5,  support 2
+        // weighted = (0.75*4 + 0.5*2)/6 = 4/6 ≈ 0.6667
+        let s = EvalSummary::compute(&l(&[0, 0, 0, 1, 1, 0]), &l(&[0, 0, 0, 0, 1, 1]));
+        assert!((s.weighted_f1 - 2.0 / 3.0).abs() < 1e-9, "{}", s.weighted_f1);
+        assert!((s.accuracy - 4.0 / 6.0).abs() < 1e-9);
+        assert!((s.macro_f1 - 0.625).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_class_report_details() {
+        let preds = l(&[0, 0, 1, 2]);
+        let truths = l(&[0, 1, 1, 1]);
+        let report = per_class_report(&preds, &truths);
+        let c0 = report[&LabelId(0)];
+        assert_eq!(c0.support, 1);
+        assert!((c0.precision - 0.5).abs() < 1e-9);
+        assert_eq!(c0.recall, 1.0);
+        let c1 = report[&LabelId(1)];
+        assert_eq!(c1.support, 3);
+        assert_eq!(c1.precision, 1.0);
+        assert!((c1.recall - 1.0 / 3.0).abs() < 1e-9);
+        // Class 2 was predicted but never true: precision 0, support 0.
+        let c2 = report[&LabelId(2)];
+        assert_eq!(c2.support, 0);
+        assert_eq!(c2.precision, 0.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let s = EvalSummary::compute(&[], &[]);
+        assert_eq!(s.support, 0);
+        assert_eq!(s.accuracy, 0.0);
+    }
+
+    #[test]
+    fn percentage_helpers() {
+        let s = EvalSummary::compute(&l(&[0, 0]), &l(&[0, 1]));
+        assert!((s.accuracy_pct() - 50.0).abs() < 1e-9);
+        assert!(s.weighted_f1_pct() <= 100.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        EvalSummary::compute(&l(&[0]), &l(&[0, 1]));
+    }
+}

@@ -1,0 +1,8 @@
+//! Facade crate: re-exports the whole KGLink workspace under one name.
+pub use kglink_baselines as baselines;
+pub use kglink_core as core;
+pub use kglink_datagen as datagen;
+pub use kglink_kg as kg;
+pub use kglink_nn as nn;
+pub use kglink_search as search;
+pub use kglink_table as table;

@@ -1,0 +1,168 @@
+//! Failure-injection and edge-case integration tests: the pipeline must
+//! degrade gracefully, never panic, on degenerate inputs.
+
+use kglink::core::pipeline::{build_vocab, KgLink, Resources};
+use kglink::core::{KgLinkConfig, Preprocessor};
+use kglink::datagen::{pretrain_corpus, semtab_like, SemTabConfig};
+use kglink::kg::{KnowledgeGraph, SyntheticWorld, WorldConfig};
+use kglink::nn::Tokenizer;
+use kglink::search::EntitySearcher;
+use kglink::table::{CellValue, LabelId, Table, TableId};
+
+fn trained_model() -> (
+    SyntheticWorld,
+    EntitySearcher,
+    Tokenizer,
+    KgLink,
+) {
+    let world = SyntheticWorld::generate(&WorldConfig::tiny(401));
+    let bench = semtab_like(&world, &SemTabConfig::tiny(401));
+    let searcher = EntitySearcher::build(&world.graph);
+    let corpus = pretrain_corpus(&world, 401);
+    let vocab = build_vocab(corpus.iter().map(String::as_str), &[&bench.dataset], 6000);
+    let tokenizer = Tokenizer::new(vocab);
+    let (model, _) = {
+        let resources = Resources::new(&world.graph, &searcher, &tokenizer);
+        KgLink::fit(
+            &resources,
+            &bench.dataset,
+            KgLinkConfig {
+                epochs: 2,
+                ..KgLinkConfig::fast_test()
+            },
+        )
+    };
+    (world, searcher, tokenizer, model)
+}
+
+#[test]
+fn annotating_degenerate_tables_never_panics() {
+    let (world, searcher, tokenizer, model) = trained_model();
+    let resources = Resources::new(&world.graph, &searcher, &tokenizer);
+    let cases: Vec<Table> = vec![
+        // All-empty cells.
+        Table::new(
+            TableId(1),
+            vec![],
+            vec![vec![CellValue::Empty; 3], vec![CellValue::Empty; 3]],
+            vec![LabelId(0), LabelId(0)],
+        ),
+        // Single cell.
+        Table::new(
+            TableId(2),
+            vec![],
+            vec![vec![CellValue::Text("x".into())]],
+            vec![LabelId(0)],
+        ),
+        // Only numeric columns.
+        Table::new(
+            TableId(3),
+            vec![],
+            vec![
+                (0..5).map(|i| CellValue::Number(i as f64)).collect(),
+                (0..5).map(|i| CellValue::Number(i as f64 * 2.0)).collect(),
+            ],
+            vec![LabelId(0), LabelId(0)],
+        ),
+        // Pathologically long cell text.
+        Table::new(
+            TableId(4),
+            vec![],
+            vec![vec![CellValue::Text("word ".repeat(500))]],
+            vec![LabelId(0)],
+        ),
+        // Cells full of out-of-vocabulary gibberish.
+        Table::new(
+            TableId(5),
+            vec![],
+            vec![vec![
+                CellValue::Text("zzqqj xxkwv".into()),
+                CellValue::Text("bbnmp ccvty".into()),
+            ]],
+            vec![LabelId(0)],
+        ),
+        // Very wide table (exceeds max_columns, forces splitting).
+        Table::new(
+            TableId(6),
+            vec![],
+            (0..20)
+                .map(|i| vec![CellValue::Text(format!("cell{i}"))])
+                .collect(),
+            (0..20).map(|_| LabelId(0)).collect(),
+        ),
+    ];
+    for table in &cases {
+        let preds = model.annotate(&resources, table);
+        assert_eq!(preds.len(), table.n_cols(), "table {:?}", table.id);
+        for p in preds {
+            assert!((p.index()) < model.labels.len());
+        }
+    }
+}
+
+#[test]
+fn empty_knowledge_graph_still_allows_training() {
+    // KGLink degrades to a Doduo-style model when the KG has nothing.
+    let world = SyntheticWorld::generate(&WorldConfig::tiny(402));
+    let bench = semtab_like(&world, &SemTabConfig::tiny(402));
+    let empty = KnowledgeGraph::new();
+    let searcher = EntitySearcher::build(&empty);
+    let corpus = pretrain_corpus(&world, 402);
+    let vocab = build_vocab(corpus.iter().map(String::as_str), &[&bench.dataset], 6000);
+    let tokenizer = Tokenizer::new(vocab);
+    let resources = Resources::new(&empty, &searcher, &tokenizer);
+    let (model, _) = KgLink::fit(
+        &resources,
+        &bench.dataset,
+        KgLinkConfig {
+            epochs: 3,
+            ..KgLinkConfig::fast_test()
+        },
+    );
+    let summary = model.evaluate(&resources, &bench.dataset, kglink::table::Split::Test);
+    assert!(summary.support > 0);
+    assert!(
+        summary.accuracy > 1.0 / bench.dataset.labels.len() as f64,
+        "even KG-less, the PLM learns: {}",
+        summary.accuracy
+    );
+}
+
+#[test]
+fn preprocessing_with_empty_graph_yields_no_kg_information() {
+    let world = SyntheticWorld::generate(&WorldConfig::tiny(403));
+    let bench = semtab_like(&world, &SemTabConfig::tiny(403));
+    let empty = KnowledgeGraph::new();
+    let searcher = EntitySearcher::build(&empty);
+    let pre = Preprocessor::new(&empty, &searcher, KgLinkConfig::fast_test());
+    for table in bench.dataset.tables.iter().take(5) {
+        for pt in pre.process(table) {
+            for c in 0..pt.table.n_cols() {
+                assert!(pt.candidate_type_names[c].is_empty());
+                assert!(pt.feature_seqs[c].is_none());
+                assert!(!pt.has_linkage[c]);
+            }
+        }
+    }
+}
+
+#[test]
+fn extreme_config_values_are_tolerated() {
+    let (world, searcher, tokenizer, _) = trained_model();
+    let bench = semtab_like(&world, &SemTabConfig::tiny(401));
+    let resources = Resources::new(&world.graph, &searcher, &tokenizer);
+    // k = 1 row, 1 entity per mention, 1 candidate type, tiny budgets.
+    let config = KgLinkConfig {
+        epochs: 1,
+        top_k_rows: 1,
+        max_entities_per_mention: 1,
+        max_candidate_types: 1,
+        tokens_per_column: 2,
+        feature_seq_tokens: 1,
+        max_columns: 1,
+        ..KgLinkConfig::fast_test()
+    };
+    let (model, _) = KgLink::fit(&resources, &bench.dataset, config);
+    let t = &bench.dataset.tables[0];
+    assert_eq!(model.annotate(&resources, t).len(), t.n_cols());
+}
