@@ -48,7 +48,7 @@ impl Hnn {
         let Some(CellValue::Text(mention)) = first else {
             return Vec::new();
         };
-        let hits = env.resources.searcher.link_mention(mention, 1);
+        let hits = env.resources.backend.link_mention(mention, 1);
         match hits.first() {
             Some(&(e, _)) => env.resources.graph.types_of(e),
             None => Vec::new(),

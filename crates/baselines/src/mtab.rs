@@ -36,7 +36,7 @@ impl CtaModel for MTab {
 
     fn predict_table(&self, env: &BenchEnv<'_>, table: &Table) -> Vec<LabelId> {
         let graph = env.resources.graph;
-        let searcher = env.resources.searcher;
+        let searcher = env.resources.backend;
         let hierarchy = TypeHierarchy::new(graph);
         (0..table.n_cols())
             .map(|c| {

@@ -80,8 +80,8 @@ pub fn column_features(table: &Table, c: usize) -> Vec<f32> {
         distinct.len() as f32 / n,         // distinct ratio
         val_mean.abs().ln_1p(),            // log |mean value|
         std(&values).ln_1p(),              // log value std
-        values.iter().copied().fold(f32::INFINITY, f32::min).min(1e9).max(-1e9), // min value (clamped)
-        values.iter().copied().fold(f32::NEG_INFINITY, f32::max).min(1e9).max(-1e9), // max value (clamped)
+        values.iter().copied().fold(f32::INFINITY, f32::min).clamp(-1e9, 1e9), // min value (clamped)
+        values.iter().copied().fold(f32::NEG_INFINITY, f32::max).clamp(-1e9, 1e9), // max value (clamped)
         n.ln(),                            // log row count
     ]
 }

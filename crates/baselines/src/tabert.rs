@@ -31,12 +31,12 @@ impl TaBert {
         let mut ids = vec![special::CLS];
         let mut positions: Vec<Vec<usize>> = vec![Vec::new(); table.n_cols()];
         for r in 0..table.n_rows().min(MAX_ROWS) {
-            for c in 0..table.n_cols() {
+            for (c, pos) in positions.iter_mut().enumerate() {
                 for t in encode_cell(table.cell(r, c), tokenizer)
                     .into_iter()
                     .take(TOKENS_PER_CELL)
                 {
-                    positions[c].push(ids.len());
+                    pos.push(ids.len());
                     ids.push(t);
                 }
                 ids.push(special::SEP);

@@ -27,7 +27,7 @@ fn main() {
             "KGLink w/o msk",
         );
         // Per-class recall on the test split for both variants.
-        let pre = Preprocessor::new(resources.graph, resources.searcher, env.kglink_config(which));
+        let pre = Preprocessor::new(resources.graph, resources.backend, env.kglink_config(which));
         let processed: Vec<_> = dataset
             .tables_in(Split::Test)
             .flat_map(|t| pre.process(t))

@@ -13,9 +13,11 @@
 use kglink_bench::{print_markdown, run_kglink, ExpEnv, Which};
 use kglink_core::config::EncoderSize;
 
+type ConfigTweak = Box<dyn Fn(kglink_core::KgLinkConfig) -> kglink_core::KgLinkConfig>;
+
 fn main() {
     let env = ExpEnv::load();
-    let variants: Vec<(&str, Box<dyn Fn(kglink_core::KgLinkConfig) -> kglink_core::KgLinkConfig>)> = vec![
+    let variants: Vec<(&str, ConfigTweak)> = vec![
         ("KGLink w/o msk", Box::new(|c: kglink_core::KgLinkConfig| c.without_mask_task())),
         ("KGLink w/o ct", Box::new(|c: kglink_core::KgLinkConfig| c.without_kg())),
         ("KGLink w/o fv", Box::new(|c: kglink_core::KgLinkConfig| c.without_feature_vector())),

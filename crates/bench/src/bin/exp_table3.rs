@@ -20,7 +20,7 @@ fn main() {
         let dataset = &env.bench(which).dataset;
         let pre = Preprocessor::new(
             resources.graph,
-            resources.searcher,
+            resources.backend,
             env.kglink_config(which),
         );
         let processed: Vec<_> = dataset.tables.iter().flat_map(|t| pre.process(t)).collect();

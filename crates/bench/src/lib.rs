@@ -26,7 +26,7 @@ use kglink_datagen::{pretrain_corpus, semtab_like, viznet_like, GeneratedBenchma
 use kglink_kg::{SyntheticWorld, WorldConfig};
 use kglink_nn::serialize::save_params;
 use kglink_nn::{Encoder, EncoderConfig, MlmPretrainConfig, MlmPretrainer, Tokenizer};
-use kglink_search::EntitySearcher;
+use kglink_search::{EntitySearcher, KgBackend};
 use kglink_table::{Dataset, EvalSummary, LabelId, Split, Table};
 use std::time::Instant;
 
@@ -176,10 +176,15 @@ impl ExpEnv {
         }
     }
 
-    /// KGLink resources view.
+    /// KGLink resources view over the healthy in-process searcher.
     pub fn resources(&self) -> Resources<'_> {
-        Resources::new(&self.world.graph, &self.searcher, &self.tokenizer)
-            .with_pretrained(&self.pretrained)
+        self.resources_with(&self.searcher)
+    }
+
+    /// KGLink resources view over an arbitrary retrieval backend (fault
+    /// injection, resilient decorators, …).
+    pub fn resources_with<'a>(&'a self, backend: &'a (dyn KgBackend + 'a)) -> Resources<'a> {
+        Resources::new(&self.world.graph, backend, &self.tokenizer).with_pretrained(&self.pretrained)
     }
 
     /// Baseline environment view for a dataset.
@@ -266,12 +271,24 @@ pub fn run_baseline(env: &ExpEnv, model: &mut dyn CtaModel, which: Which) -> Run
 /// Train and evaluate KGLink (or an ablation of it) on one dataset.
 pub fn run_kglink(env: &ExpEnv, which: Which, config: KgLinkConfig, name: &str) -> (RunResult, TrainReport, KgLink) {
     let resources = env.resources();
+    run_kglink_on(env, &resources, which, config, name)
+}
+
+/// [`run_kglink`] against explicit resources — lets chaos experiments swap
+/// in a faulty or resilient retrieval backend for both fit and evaluate.
+pub fn run_kglink_on(
+    env: &ExpEnv,
+    resources: &Resources<'_>,
+    which: Which,
+    config: KgLinkConfig,
+    name: &str,
+) -> (RunResult, TrainReport, KgLink) {
     let dataset = &env.bench(which).dataset;
     let t0 = Instant::now();
-    let (model, report) = KgLink::fit(&resources, dataset, config);
+    let (model, report) = KgLink::fit(resources, dataset, config);
     let fit_seconds = t0.elapsed().as_secs_f64();
     let t1 = Instant::now();
-    let summary = model.evaluate(&resources, dataset, Split::Test);
+    let summary = model.evaluate(resources, dataset, Split::Test);
     let predict_seconds = t1.elapsed().as_secs_f64();
     eprintln!(
         "[run] {:<10} {:<12} acc {:5.2}  wF1 {:5.2}  (fit {:.1}s, predict {:.1}s)",

@@ -60,8 +60,7 @@ pub fn candidate_types(
             .collect();
         ranked.sort_by(|a, b| {
             b.score
-                .partial_cmp(&a.score)
-                .unwrap()
+                .total_cmp(&a.score)
                 .then_with(|| a.entity.cmp(&b.entity))
         });
         ranked.truncate(max_types);

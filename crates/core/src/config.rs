@@ -43,6 +43,11 @@ pub struct KgLinkConfig {
     pub row_filter: RowFilter,
     /// Maximum columns per table before splitting (paper: 8).
     pub max_columns: usize,
+    /// Per-query KG retrieval deadline in simulated microseconds
+    /// (`u64::MAX` = unbounded; only bites when the backend simulates
+    /// latency). Queries past the deadline fail and degrade their column to
+    /// the no-linkage path.
+    pub retrieval_deadline_us: u64,
 
     // ---- Part 2: serialization + model --------------------------------
     /// Token budget per column in the serialized table (paper: 64).
@@ -93,6 +98,7 @@ impl Default for KgLinkConfig {
             top_k_rows: 25,
             row_filter: RowFilter::LinkScore,
             max_columns: 8,
+            retrieval_deadline_us: u64::MAX,
             tokens_per_column: 18,
             feature_seq_tokens: 24,
             encoder: EncoderSize::Mini,

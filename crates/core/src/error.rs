@@ -1,0 +1,70 @@
+//! Typed errors for the KGLink pipeline.
+//!
+//! Data-dependent failure modes (degenerate tables, invalid configurations,
+//! retrieval faults) surface as [`KgLinkError`] instead of panics: callers
+//! choose between propagating (`try_*` APIs) and skipping (the annotator
+//! falls back to a default label rather than crash on one bad table).
+
+use kglink_search::RetrievalError;
+use kglink_table::TableId;
+use std::fmt;
+
+/// Everything that can go wrong while preprocessing or annotating.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KgLinkError {
+    /// A table that cannot be meaningfully annotated (e.g. zero columns).
+    DegenerateTable { table: TableId, reason: String },
+    /// A configuration value outside its valid domain.
+    InvalidConfig { reason: String },
+    /// KG retrieval failed and no degraded path was applicable.
+    Retrieval(RetrievalError),
+}
+
+impl KgLinkError {
+    pub fn degenerate(table: TableId, reason: impl Into<String>) -> Self {
+        KgLinkError::DegenerateTable {
+            table,
+            reason: reason.into(),
+        }
+    }
+
+    pub fn invalid_config(reason: impl Into<String>) -> Self {
+        KgLinkError::InvalidConfig {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for KgLinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KgLinkError::DegenerateTable { table, reason } => {
+                write!(f, "degenerate table {table:?}: {reason}")
+            }
+            KgLinkError::InvalidConfig { reason } => write!(f, "invalid config: {reason}"),
+            KgLinkError::Retrieval(e) => write!(f, "retrieval failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for KgLinkError {}
+
+impl From<RetrievalError> for KgLinkError {
+    fn from(e: RetrievalError) -> Self {
+        KgLinkError::Retrieval(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_format_and_convert() {
+        let e = KgLinkError::degenerate(TableId(7), "no columns");
+        assert!(e.to_string().contains("no columns"));
+        let e: KgLinkError = RetrievalError::Transient.into();
+        assert!(matches!(e, KgLinkError::Retrieval(RetrievalError::Transient)));
+        assert!(e.to_string().contains("transient"));
+    }
+}

@@ -46,7 +46,7 @@ impl PrunedCell {
         self.entities
             .iter()
             .copied()
-            .max_by(|a, b| a.linking_score.partial_cmp(&b.linking_score).unwrap())
+            .max_by(|a, b| a.linking_score.total_cmp(&b.linking_score))
     }
 }
 
@@ -100,7 +100,7 @@ pub fn prune_and_filter(
                 counts
             })
             .collect();
-        for c1 in 0..n_cols {
+        for (c1, pruned_col) in pruned.iter_mut().enumerate() {
             let link = linked.cell(r, c1);
             if link.candidates.is_empty() {
                 continue;
@@ -130,13 +130,13 @@ pub fn prune_and_filter(
                     overlap_score: 0,
                 });
             }
-            kept.sort_by(|a, b| b.linking_score.partial_cmp(&a.linking_score).unwrap());
+            kept.sort_by(|a, b| b.linking_score.total_cmp(&a.linking_score));
             let cell = PrunedCell {
                 entities: kept,
                 fallback,
             };
             row_scores[r] += cell.linking_score();
-            pruned[c1][r] = cell;
+            pruned_col[r] = cell;
         }
     }
 
@@ -148,8 +148,7 @@ pub fn prune_and_filter(
             // Stable ordering: score descending, then original index.
             idx.sort_by(|&a, &b| {
                 row_scores[b]
-                    .partial_cmp(&row_scores[a])
-                    .unwrap()
+                    .total_cmp(&row_scores[a])
                     .then(a.cmp(&b))
             });
             idx.truncate(keep);

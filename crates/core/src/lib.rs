@@ -35,6 +35,7 @@
 
 pub mod candidates;
 pub mod config;
+pub mod error;
 pub mod feature;
 pub mod filter;
 pub mod linking;
@@ -46,8 +47,9 @@ pub mod stats;
 pub mod train;
 
 pub use config::{KgLinkConfig, RowFilter};
+pub use error::KgLinkError;
 pub use linking::{CellLink, LinkedTable};
 pub use model::KgLinkModel;
 pub use pipeline::{KgLink, TrainReport};
 pub use preprocess::{preprocess_table, ProcessedTable, Preprocessor};
-pub use stats::{LinkStatistics, LinkageClass};
+pub use stats::{DegradationStats, LinkStatistics, LinkageClass};

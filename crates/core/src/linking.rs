@@ -1,7 +1,13 @@
 //! Part 1, Step 1: table cell mention linking (paper Eq. 1–2).
+//!
+//! Linking goes through the fallible [`KgBackend`] trait: a retrieval
+//! failure (timeout, transient fault, outage, open circuit breaker) is a
+//! first-class outcome recorded on the [`CellLink`], not a panic. Failed
+//! cells carry no candidates, which downstream turns into the paper's
+//! no-linkage path (Table IV).
 
 use kglink_kg::EntityId;
-use kglink_search::EntitySearcher;
+use kglink_search::{Deadline, KgBackend};
 use kglink_table::{MentionKind, Table};
 
 /// KG linkage of a single cell.
@@ -13,6 +19,10 @@ pub struct CellLink {
     /// Empty for numeric/date/empty cells (their linking score is 0 by the
     /// paper's rule) and for mentions with no KG match.
     pub candidates: Vec<(EntityId, f32)>,
+    /// True when retrieval was attempted but *failed* (as opposed to
+    /// succeeding with no hits). Failed cells degrade to the no-linkage
+    /// path.
+    pub failed: bool,
 }
 
 impl CellLink {
@@ -36,14 +46,26 @@ pub struct LinkedTable {
 }
 
 impl LinkedTable {
-    /// Link every cell of `table` against the KG through `searcher`,
-    /// retrieving up to `max_entities` candidates per mention.
+    /// Link every cell of `table` against the KG through `backend`,
+    /// retrieving up to `max_entities` candidates per mention with no
+    /// deadline.
     ///
     /// Cells the named-entity schema classifies as numeric or date are
     /// assigned a linking score of 0 (no retrieval) — the paper: "For
     /// instances where the cell mention corresponds to a number or a date,
     /// it is inappropriate to link it to the KG."
-    pub fn link(table: &Table, searcher: &EntitySearcher, max_entities: usize) -> Self {
+    pub fn link(table: &Table, backend: &dyn KgBackend, max_entities: usize) -> Self {
+        Self::link_with_deadline(table, backend, max_entities, Deadline::UNBOUNDED)
+    }
+
+    /// [`link`](Self::link) with a per-query retrieval deadline. Retrieval
+    /// errors leave the cell unlinked with `failed = true`.
+    pub fn link_with_deadline(
+        table: &Table,
+        backend: &dyn KgBackend,
+        max_entities: usize,
+        deadline: Deadline,
+    ) -> Self {
         let cells = table
             .columns
             .iter()
@@ -51,12 +73,20 @@ impl LinkedTable {
                 col.iter()
                     .map(|cell| {
                         let kind = cell.mention_kind();
-                        let candidates = if kind == MentionKind::Entity {
-                            searcher.link_mention(&cell.surface(), max_entities)
+                        let (candidates, failed) = if kind == MentionKind::Entity {
+                            match backend.search_entities(&cell.surface(), max_entities, deadline)
+                            {
+                                Ok(outcome) => (outcome.hits, false),
+                                Err(_) => (Vec::new(), true),
+                            }
                         } else {
-                            Vec::new()
+                            (Vec::new(), false)
                         };
-                        CellLink { kind, candidates }
+                        CellLink {
+                            kind,
+                            candidates,
+                            failed,
+                        }
                     })
                     .collect()
             })
@@ -77,6 +107,29 @@ impl LinkedTable {
     /// The link record of `(row, col)`.
     pub fn cell(&self, row: usize, col: usize) -> &CellLink {
         &self.cells[col][row]
+    }
+
+    /// Whether any retrieval in column `c` failed.
+    pub fn column_failed(&self, c: usize) -> bool {
+        self.cells[c].iter().any(|link| link.failed)
+    }
+
+    /// Total cells whose retrieval failed.
+    pub fn failed_cells(&self) -> usize {
+        self.cells
+            .iter()
+            .flat_map(|col| col.iter())
+            .filter(|link| link.failed)
+            .count()
+    }
+
+    /// Drop every candidate in column `c` — the full-column degradation
+    /// applied when any of its retrievals failed, so the whole column takes
+    /// the deterministic no-linkage path instead of a partial one.
+    pub fn degrade_column(&mut self, c: usize) {
+        for link in &mut self.cells[c] {
+            link.candidates.clear();
+        }
     }
 
     /// Fraction of linkable cells that retrieved at least one entity.
@@ -105,6 +158,7 @@ impl LinkedTable {
 mod tests {
     use super::*;
     use kglink_kg::{Entity, KgBuilder, NeSchema};
+    use kglink_search::{EntitySearcher, FaultConfig, FaultyBackend};
     use kglink_table::{CellValue, LabelId, TableId};
 
     fn setup() -> (kglink_kg::KnowledgeGraph, Table) {
@@ -134,6 +188,7 @@ mod tests {
         let linked = LinkedTable::link(&table, &searcher, 5);
         assert!(linked.cell(0, 0).is_linked());
         assert!(linked.cell(0, 0).best_score() > 0.0);
+        assert!(!linked.cell(0, 0).failed);
     }
 
     #[test]
@@ -156,6 +211,10 @@ mod tests {
         let linked = LinkedTable::link(&table, &searcher, 5);
         assert!(!linked.cell(1, 0).is_linked());
         assert_eq!(linked.cell(1, 0).best_score(), 0.0);
+        assert!(
+            !linked.cell(1, 0).failed,
+            "an empty result set is not a failure"
+        );
     }
 
     #[test]
@@ -165,5 +224,31 @@ mod tests {
         let linked = LinkedTable::link(&table, &searcher, 5);
         // Two entity cells, one linked.
         assert!((linked.linkage_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retrieval_failures_mark_cells_and_columns() {
+        let (g, table) = setup();
+        let searcher = EntitySearcher::build(&g);
+        let dead = FaultyBackend::new(&searcher, FaultConfig::with_fault_rate(1, 1.0));
+        let linked = LinkedTable::link(&table, &dead, 5);
+        // Entity cells fail; numeric/date cells never attempt retrieval.
+        assert!(linked.cell(0, 0).failed);
+        assert!(linked.cell(1, 0).failed);
+        assert!(!linked.cell(0, 1).failed);
+        assert!(linked.column_failed(0));
+        assert!(!linked.column_failed(1));
+        assert_eq!(linked.failed_cells(), 2);
+        assert_eq!(linked.linkage_rate(), 0.0);
+    }
+
+    #[test]
+    fn degrade_column_clears_candidates() {
+        let (g, table) = setup();
+        let searcher = EntitySearcher::build(&g);
+        let mut linked = LinkedTable::link(&table, &searcher, 5);
+        assert!(linked.cell(0, 0).is_linked());
+        linked.degrade_column(0);
+        assert!(!linked.cell(0, 0).is_linked());
     }
 }

@@ -9,15 +9,16 @@ use kglink_kg::KnowledgeGraph;
 use kglink_nn::layers::param::HasParams;
 use kglink_nn::serialize::load_params;
 use kglink_nn::{Tokenizer, Vocab};
-use kglink_search::EntitySearcher;
+use kglink_search::KgBackend;
 use kglink_table::{Dataset, EvalSummary, LabelId, LabelVocab, Split, Table};
 
-/// Everything external a KGLink instance needs: the KG, its search index,
-/// the tokenizer, and (optionally) pre-trained MiniLM weights shared across
-/// the experiment grid.
+/// Everything external a KGLink instance needs: the KG, a retrieval backend
+/// over it (the in-process searcher, or any resilient/faulty decorator
+/// stack), the tokenizer, and (optionally) pre-trained MiniLM weights shared
+/// across the experiment grid.
 pub struct Resources<'a> {
     pub graph: &'a KnowledgeGraph,
-    pub searcher: &'a EntitySearcher,
+    pub backend: &'a (dyn KgBackend + 'a),
     pub tokenizer: &'a Tokenizer,
     /// Serialized encoder weights from MLM pre-training (the BERT
     /// checkpoint stand-in). Loaded when the architecture matches.
@@ -27,12 +28,12 @@ pub struct Resources<'a> {
 impl<'a> Resources<'a> {
     pub fn new(
         graph: &'a KnowledgeGraph,
-        searcher: &'a EntitySearcher,
+        backend: &'a (dyn KgBackend + 'a),
         tokenizer: &'a Tokenizer,
     ) -> Self {
         Resources {
             graph,
-            searcher,
+            backend,
             tokenizer,
             pretrained_encoder: None,
         }
@@ -81,7 +82,7 @@ impl KgLink {
     /// Train KGLink on a dataset's train split, early-stopping on its
     /// validation split. Returns the annotator and the training trace.
     pub fn fit(resources: &Resources<'_>, dataset: &Dataset, config: KgLinkConfig) -> (Self, TrainReport) {
-        let pre = Preprocessor::new(resources.graph, resources.searcher, config.clone());
+        let pre = Preprocessor::new(resources.graph, resources.backend, config.clone());
         let process = |split: Split| -> Vec<ProcessedTable> {
             dataset
                 .tables_in(split)
@@ -124,7 +125,7 @@ impl KgLink {
     /// Annotate one raw table: runs Part 1 and Part 2 end to end and
     /// returns one label per column.
     pub fn annotate(&self, resources: &Resources<'_>, table: &Table) -> Vec<LabelId> {
-        let pre = Preprocessor::new(resources.graph, resources.searcher, self.config.clone());
+        let pre = Preprocessor::new(resources.graph, resources.backend, self.config.clone());
         let mut out = Vec::with_capacity(table.n_cols());
         for pt in pre.process(table) {
             let prep = prepare_tables(
@@ -136,6 +137,9 @@ impl KgLink {
             );
             out.extend(train::predict_table(&self.model, &self.config, &prep[0]));
         }
+        // Degenerate or skipped chunks must not change the output arity:
+        // pad with the first label as a deterministic fallback.
+        out.resize(table.n_cols(), LabelId(0));
         out
     }
 
@@ -164,7 +168,7 @@ impl KgLink {
         dataset: &Dataset,
         split: Split,
     ) -> EvalSummary {
-        let pre = Preprocessor::new(resources.graph, resources.searcher, self.config.clone());
+        let pre = Preprocessor::new(resources.graph, resources.backend, self.config.clone());
         let tables: Vec<ProcessedTable> = dataset
             .tables_in(split)
             .flat_map(|t| pre.process(t))
@@ -196,6 +200,7 @@ mod tests {
     use super::*;
     use kglink_datagen::{pretrain_corpus, semtab_like, SemTabConfig};
     use kglink_kg::{SyntheticWorld, WorldConfig};
+    use kglink_search::EntitySearcher;
 
     #[test]
     fn fit_annotate_evaluate_end_to_end() {

@@ -1,6 +1,8 @@
-//! Linkage statistics (paper Table III).
+//! Linkage statistics (paper Table III) and retrieval degradation
+//! accounting for the resilience layer.
 
 use crate::preprocess::ProcessedTable;
+use kglink_search::MetricsSnapshot;
 use serde::{Deserialize, Serialize};
 
 /// The linkage class of a column, per the paper's Table III taxonomy.
@@ -98,6 +100,83 @@ impl std::fmt::Display for LinkStatistics {
     }
 }
 
+/// How much of a preprocessing pass ran in degraded (no-KG) mode, plus the
+/// retrieval-layer counters when the backend exposes them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct DegradationStats {
+    /// Columns seen across all processed chunks.
+    pub total_columns: usize,
+    /// Columns degraded to the no-linkage path by retrieval failures.
+    pub degraded_columns: usize,
+    /// Cells whose retrieval was attempted but failed.
+    pub failed_cells: usize,
+    /// Retry attempts made by the resilient decorator (0 without one).
+    pub retries: u64,
+    /// Circuit-breaker trips (0 without one).
+    pub breaker_trips: u64,
+    /// Queries rejected outright by an open breaker (0 without one).
+    pub breaker_rejections: u64,
+    /// p50 simulated latency of successful retrievals, microseconds.
+    pub retrieval_p50_us: u64,
+    /// p99 simulated latency of successful retrievals, microseconds.
+    pub retrieval_p99_us: u64,
+}
+
+impl DegradationStats {
+    /// Column/cell accounting from processed tables.
+    pub fn from_processed<'a, I: IntoIterator<Item = &'a ProcessedTable>>(tables: I) -> Self {
+        let mut s = DegradationStats::default();
+        for pt in tables {
+            s.total_columns += pt.table.n_cols();
+            s.degraded_columns += pt.degraded_columns();
+            s.failed_cells += pt.failed_cells;
+        }
+        s
+    }
+
+    /// Merge in the retrieval-layer counters of a resilient backend.
+    pub fn with_backend(mut self, m: &MetricsSnapshot) -> Self {
+        self.retries = m.retries;
+        self.breaker_trips = m.breaker_trips;
+        self.breaker_rejections = m.breaker_rejections;
+        self.retrieval_p50_us = m.latency_p50_us;
+        self.retrieval_p99_us = m.latency_p99_us;
+        self
+    }
+
+    /// Fraction of columns that degraded, in [0, 1].
+    pub fn degraded_fraction(&self) -> f64 {
+        if self.total_columns == 0 {
+            0.0
+        } else {
+            self.degraded_columns as f64 / self.total_columns as f64
+        }
+    }
+}
+
+impl std::fmt::Display for DegradationStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Degraded columns:   {:>6} / {} ({:.1}%)",
+            self.degraded_columns,
+            self.total_columns,
+            100.0 * self.degraded_fraction()
+        )?;
+        writeln!(f, "Failed cells:       {:>6}", self.failed_cells)?;
+        writeln!(
+            f,
+            "Retries:            {:>6}   breaker trips: {}   breaker rejections: {}",
+            self.retries, self.breaker_trips, self.breaker_rejections
+        )?;
+        write!(
+            f,
+            "Retrieval latency:  p50 {}us, p99 {}us (simulated)",
+            self.retrieval_p50_us, self.retrieval_p99_us
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,5 +230,51 @@ mod tests {
     fn empty_stats() {
         let s = LinkStatistics::default();
         assert_eq!(s.pct(0), 0.0);
+    }
+
+    #[test]
+    fn degradation_stats_track_outages() {
+        use kglink_datagen::{semtab_like, SemTabConfig};
+        use kglink_search::{FaultConfig, FaultyBackend, ResilienceConfig, ResilientBackend};
+
+        let world = SyntheticWorld::generate(&WorldConfig::tiny(32));
+        let bench = semtab_like(&world, &SemTabConfig::tiny(32));
+        let searcher = EntitySearcher::build(&world.graph);
+
+        // Healthy backend: nothing degrades.
+        let pre = Preprocessor::new(&world.graph, &searcher, KgLinkConfig::fast_test());
+        let healthy: Vec<_> = bench
+            .dataset
+            .tables
+            .iter()
+            .take(4)
+            .flat_map(|t| pre.process(t))
+            .collect();
+        let s = DegradationStats::from_processed(&healthy);
+        assert!(s.total_columns > 0);
+        assert_eq!(s.degraded_columns, 0);
+        assert_eq!(s.failed_cells, 0);
+        assert_eq!(s.degraded_fraction(), 0.0);
+
+        // Full outage behind the resilient decorator: everything linkable
+        // degrades and the decorator's counters surface.
+        let faulty = FaultyBackend::new(&searcher, FaultConfig::with_fault_rate(5, 1.0));
+        let resilient = ResilientBackend::new(&faulty, ResilienceConfig::default());
+        let pre = Preprocessor::new(&world.graph, &resilient, KgLinkConfig::fast_test());
+        let dead: Vec<_> = bench
+            .dataset
+            .tables
+            .iter()
+            .take(4)
+            .flat_map(|t| pre.process(t))
+            .collect();
+        let s = DegradationStats::from_processed(&dead).with_backend(&resilient.metrics());
+        assert!(s.degraded_columns > 0);
+        assert!(s.failed_cells > 0);
+        assert!(s.retries > 0, "transient faults are retried before giving up");
+        assert!(s.degraded_fraction() > 0.0);
+        let text = s.to_string();
+        assert!(text.contains("Degraded columns"));
+        assert!(text.contains("breaker trips"));
     }
 }

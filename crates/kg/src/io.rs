@@ -78,7 +78,7 @@ pub fn export_triples(graph: &KnowledgeGraph) -> String {
             id.0,
             schema_name(e.schema),
             u8::from(e.is_type),
-            e.label.replace('\t', " ").replace('\n', " ")
+            e.label.replace(['\t', '\n'], " ")
         );
         for alias in &e.aliases {
             let _ = writeln!(out, "A\t{}\t{}", id.0, alias.replace(['\t', '\n'], " "));

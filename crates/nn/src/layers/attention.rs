@@ -39,7 +39,7 @@ impl MultiHeadSelfAttention {
     /// # Panics
     /// Panics if `d` is not divisible by `n_heads`.
     pub fn new(d: usize, n_heads: usize, rng: &mut StdRng) -> Self {
-        assert!(d % n_heads == 0, "d must divide evenly into heads");
+        assert!(d.is_multiple_of(n_heads), "d must divide evenly into heads");
         MultiHeadSelfAttention {
             wq: Linear::new(d, d, rng),
             wk: Linear::new(d, d, rng),

@@ -134,8 +134,8 @@ mod tests {
     impl Bowl {
         fn loss_and_grad(&mut self, target: &[f32]) -> f32 {
             let mut loss = 0.0;
-            for i in 0..target.len() {
-                let diff = self.w.value.data()[i] - target[i];
+            for (i, &t) in target.iter().enumerate() {
+                let diff = self.w.value.data()[i] - t;
                 loss += diff * diff;
                 self.w.grad.data_mut()[i] += 2.0 * diff;
             }

@@ -13,12 +13,25 @@
 //!   [`kglink_kg::KnowledgeGraph`] (labels + aliases, optionally
 //!   descriptions) and returns scored entity candidates for a mention.
 
+//!
+//! Production-scale retrieval is *fallible*: [`KgBackend`] is the
+//! deadline-aware trait the pipeline consumes, and [`resilience`] provides
+//! deterministic fault injection plus a retry/backoff/circuit-breaker
+//! decorator around any backend.
+
+pub mod backend;
 pub mod bm25;
 pub mod index;
+pub mod resilience;
 pub mod searcher;
 pub mod tokenize;
 
+pub use backend::{Deadline, KgBackend, RetrievalError, SearchOutcome};
 pub use bm25::Bm25Params;
 pub use index::{DocId, InvertedIndex, SearchHit};
+pub use resilience::{
+    backoff_delay_us, BreakerConfig, BreakerState, CircuitBreaker, FaultConfig, FaultyBackend,
+    MetricsSnapshot, ResilienceConfig, ResilientBackend,
+};
 pub use searcher::EntitySearcher;
 pub use tokenize::tokenize;

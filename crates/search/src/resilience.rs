@@ -1,0 +1,764 @@
+//! Fault injection and the resilient retrieval decorator.
+//!
+//! Two [`KgBackend`] wrappers compose around any inner backend:
+//!
+//! * [`FaultyBackend`] — deterministic, seeded fault injection: transient
+//!   errors, injected latency measured against the caller's deadline,
+//!   partial (truncated) result sets, and hard outages over configurable
+//!   call-index windows. Used by the chaos experiment and tests.
+//! * [`ResilientBackend`] — the production-shaped decorator: bounded
+//!   retries with exponential backoff + jitter, per-attempt timeout
+//!   budgets, and a Closed → Open → HalfOpen circuit breaker with
+//!   failure-rate tripping and cooldown probes. Keeps a simulated
+//!   microsecond clock and a metrics ledger (retries, trips, latency
+//!   percentiles) that `core::stats` surfaces per run.
+//!
+//! All randomness is derived by hashing a seed with the call index, so a
+//! given (seed, call sequence) is exactly reproducible — no global RNG
+//! state, no real sleeps.
+
+use crate::backend::{Deadline, KgBackend, RetrievalError, SearchOutcome};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// splitmix64 over `seed ^ salt` — one deterministic draw per decision.
+fn mix(seed: u64, salt: u64) -> u64 {
+    let mut z = seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Map a raw draw to `[0, 1)`.
+fn unit(raw: u64) -> f64 {
+    (raw >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform draw in `[lo, hi]`.
+fn uniform_us(raw: u64, (lo, hi): (u64, u64)) -> u64 {
+    debug_assert!(lo <= hi);
+    lo + raw % (hi - lo + 1)
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+/// Deterministic fault plan for a [`FaultyBackend`].
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Seed for every per-call decision.
+    pub seed: u64,
+    /// Probability a call fails with [`RetrievalError::Transient`].
+    pub transient_rate: f64,
+    /// Probability a call is served at `slow_latency_us` instead of
+    /// `base_latency_us` (tripping the caller's deadline, if any).
+    pub slow_rate: f64,
+    /// Probability a *successful* call returns a truncated hit list.
+    pub truncation_rate: f64,
+    /// Healthy service time, uniform over `(lo, hi)` microseconds.
+    pub base_latency_us: (u64, u64),
+    /// Degraded service time for slow calls.
+    pub slow_latency_us: (u64, u64),
+    /// Hard-outage windows `[start, end)` over the call index: every call
+    /// whose index falls in a window fails with
+    /// [`RetrievalError::Unavailable`].
+    pub outage_windows: Vec<(u64, u64)>,
+}
+
+impl FaultConfig {
+    /// No faults: pass-through with healthy latencies.
+    pub fn healthy(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            transient_rate: 0.0,
+            slow_rate: 0.0,
+            truncation_rate: 0.0,
+            base_latency_us: (200, 900),
+            slow_latency_us: (20_000, 60_000),
+            outage_windows: Vec::new(),
+        }
+    }
+
+    /// The chaos-sweep knob: a single `rate` in `[0, 1]` scales every fault
+    /// mode. At `rate = 1.0` *every* call fails (half slow-then-timeout,
+    /// the rest transient) — a full outage.
+    pub fn with_fault_rate(seed: u64, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "fault rate out of range");
+        FaultConfig {
+            transient_rate: rate,
+            slow_rate: rate * 0.5,
+            truncation_rate: rate * 0.25,
+            ..FaultConfig::healthy(seed)
+        }
+    }
+
+    /// Add a hard-outage window over the call index.
+    pub fn with_outage(mut self, start_call: u64, end_call: u64) -> Self {
+        assert!(start_call < end_call, "empty outage window");
+        self.outage_windows.push((start_call, end_call));
+        self
+    }
+}
+
+/// A [`KgBackend`] decorator that injects deterministic faults per call.
+///
+/// The call counter is the only mutable state; every decision is a pure
+/// function of `(seed, call index)`, so two identically-configured
+/// instances fed the same query sequence behave identically.
+#[derive(Debug)]
+pub struct FaultyBackend<B> {
+    inner: B,
+    config: FaultConfig,
+    calls: AtomicU64,
+}
+
+impl<B: KgBackend> FaultyBackend<B> {
+    pub fn new(inner: B, config: FaultConfig) -> Self {
+        FaultyBackend {
+            inner,
+            config,
+            calls: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of calls served (or failed) so far.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+}
+
+impl<B: KgBackend> KgBackend for FaultyBackend<B> {
+    fn search_entities(
+        &self,
+        query: &str,
+        top_k: usize,
+        deadline: Deadline,
+    ) -> Result<SearchOutcome, RetrievalError> {
+        let n = self.calls.fetch_add(1, Ordering::Relaxed);
+        let cfg = &self.config;
+        if cfg
+            .outage_windows
+            .iter()
+            .any(|&(start, end)| (start..end).contains(&n))
+        {
+            return Err(RetrievalError::Unavailable);
+        }
+        let slow = unit(mix(cfg.seed, n.wrapping_mul(3).wrapping_add(1))) < cfg.slow_rate;
+        let latency_range = if slow {
+            cfg.slow_latency_us
+        } else {
+            cfg.base_latency_us
+        };
+        let latency_us = uniform_us(mix(cfg.seed, n.wrapping_mul(3).wrapping_add(2)), latency_range);
+        if latency_us > deadline.budget_us() {
+            return Err(RetrievalError::Timeout {
+                needed_us: latency_us,
+                budget_us: deadline.budget_us(),
+            });
+        }
+        if unit(mix(cfg.seed, n.wrapping_mul(3))) < cfg.transient_rate {
+            return Err(RetrievalError::Transient);
+        }
+        let mut outcome = self.inner.search_entities(query, top_k, deadline)?;
+        outcome.latency_us += latency_us;
+        if outcome.hits.len() > 1
+            && unit(mix(cfg.seed, n.wrapping_mul(7).wrapping_add(5))) < cfg.truncation_rate
+        {
+            outcome.hits.truncate(outcome.hits.len() / 2);
+            outcome.truncated = true;
+        }
+        Ok(outcome)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker
+// ---------------------------------------------------------------------------
+
+/// Circuit-breaker tuning.
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Sliding window of recent attempt outcomes consulted for tripping.
+    pub window: usize,
+    /// Minimum outcomes in the window before the failure rate can trip.
+    pub min_samples: usize,
+    /// Failure fraction at or above which the breaker opens.
+    pub failure_threshold: f64,
+    /// Simulated microseconds the breaker stays open before probing.
+    pub cooldown_us: u64,
+    /// Consecutive half-open probe successes required to close.
+    pub halfopen_successes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            window: 32,
+            min_samples: 8,
+            failure_threshold: 0.5,
+            cooldown_us: 100_000,
+            halfopen_successes: 2,
+        }
+    }
+}
+
+/// Breaker states, in the classic Closed → Open → HalfOpen cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation; outcomes feed the sliding failure window.
+    Closed,
+    /// Tripped: every call is rejected until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: probe calls go through; one failure re-opens,
+    /// `halfopen_successes` successes close.
+    HalfOpen,
+}
+
+/// A deterministic circuit breaker over simulated time.
+///
+/// Pure state machine — the owner supplies `now_us` on every interaction,
+/// which keeps it trivially testable (see the property tests in
+/// `tests/resilience.rs`).
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    opened_at_us: u64,
+    window: VecDeque<bool>,
+    halfopen_streak: u32,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed,
+            opened_at_us: 0,
+            window: VecDeque::new(),
+            halfopen_streak: 0,
+            trips: 0,
+        }
+    }
+
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Times the breaker has tripped (entered Open).
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Simulated time at which an Open breaker will admit a probe.
+    pub fn open_until_us(&self) -> Option<u64> {
+        (self.state == BreakerState::Open)
+            .then(|| self.opened_at_us.saturating_add(self.config.cooldown_us))
+    }
+
+    /// May a call proceed at `now_us`? Transitions Open → HalfOpen when the
+    /// cooldown has elapsed.
+    pub fn allow(&mut self, now_us: u64) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if now_us.saturating_sub(self.opened_at_us) >= self.config.cooldown_us {
+                    self.state = BreakerState::HalfOpen;
+                    self.halfopen_streak = 0;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn trip(&mut self, now_us: u64) {
+        self.state = BreakerState::Open;
+        self.opened_at_us = now_us;
+        self.window.clear();
+        self.halfopen_streak = 0;
+        self.trips += 1;
+    }
+
+    /// Record the outcome of an attempt that [`allow`](Self::allow)
+    /// admitted at `now_us`.
+    pub fn record(&mut self, now_us: u64, ok: bool) {
+        match self.state {
+            BreakerState::Closed => {
+                self.window.push_back(ok);
+                while self.window.len() > self.config.window {
+                    self.window.pop_front();
+                }
+                if self.window.len() >= self.config.min_samples {
+                    let failures = self.window.iter().filter(|&&o| !o).count();
+                    if failures as f64 / self.window.len() as f64 >= self.config.failure_threshold {
+                        self.trip(now_us);
+                    }
+                }
+            }
+            BreakerState::HalfOpen => {
+                if ok {
+                    self.halfopen_streak += 1;
+                    if self.halfopen_streak >= self.config.halfopen_successes {
+                        self.state = BreakerState::Closed;
+                        self.window.clear();
+                    }
+                } else {
+                    self.trip(now_us);
+                }
+            }
+            // A call admitted before the trip may report after it; the
+            // outcome no longer matters.
+            BreakerState::Open => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Resilient decorator
+// ---------------------------------------------------------------------------
+
+/// Retry/backoff/breaker tuning for a [`ResilientBackend`].
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig {
+    /// Retries after the first attempt (total attempts = `max_retries + 1`).
+    pub max_retries: u32,
+    /// First backoff delay, microseconds.
+    pub backoff_base_us: u64,
+    /// Multiplier between consecutive backoff delays (>= 1).
+    pub backoff_multiplier: f64,
+    /// Hard cap on any single backoff delay.
+    pub backoff_cap_us: u64,
+    /// Jitter fraction in `[0, multiplier - 1]`: delay is scaled by
+    /// `1 + jitter * u` with `u ~ [0, 1)`. The bound keeps the delay
+    /// sequence monotone for any jitter draw.
+    pub jitter: f64,
+    /// Per-attempt timeout budget (tightened by the caller's deadline).
+    pub attempt_budget_us: u64,
+    /// Simulated cost charged to the clock for a fast failure.
+    pub failure_cost_us: u64,
+    /// Seed for jitter draws.
+    pub seed: u64,
+    pub breaker: BreakerConfig,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            max_retries: 3,
+            backoff_base_us: 500,
+            backoff_multiplier: 2.0,
+            backoff_cap_us: 20_000,
+            jitter: 0.5,
+            attempt_budget_us: 10_000,
+            failure_cost_us: 300,
+            seed: 0x5eed,
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
+/// Backoff delay before retry number `attempt + 1`, given a jitter draw
+/// `unit_jitter` in `[0, 1)`. Exposed for the property tests: for any fixed
+/// jitter sequence the delays are monotone non-decreasing and capped at
+/// `backoff_cap_us`.
+pub fn backoff_delay_us(config: &ResilienceConfig, attempt: u32, unit_jitter: f64) -> u64 {
+    let base = config.backoff_base_us as f64 * config.backoff_multiplier.powi(attempt as i32);
+    let jitter = config
+        .jitter
+        .clamp(0.0, (config.backoff_multiplier - 1.0).max(0.0));
+    let delayed = base * (1.0 + jitter * unit_jitter.clamp(0.0, 1.0));
+    (delayed.min(config.backoff_cap_us as f64)) as u64
+}
+
+/// Point-in-time metrics of a [`ResilientBackend`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Top-level queries served (each may span several attempts).
+    pub queries: u64,
+    /// Queries that ultimately succeeded.
+    pub successes: u64,
+    /// Queries that ultimately failed (degraded to no-linkage upstream).
+    pub failures: u64,
+    /// Queries rejected outright by an open breaker.
+    pub breaker_rejections: u64,
+    /// Retry attempts across all queries.
+    pub retries: u64,
+    /// Times the circuit breaker tripped.
+    pub breaker_trips: u64,
+    /// Successful queries whose hit list was truncated.
+    pub truncated: u64,
+    /// p50 end-to-end simulated latency of successful queries, microseconds.
+    pub latency_p50_us: u64,
+    /// p99 end-to-end simulated latency of successful queries, microseconds.
+    pub latency_p99_us: u64,
+}
+
+#[derive(Debug, Default)]
+struct ResilientState {
+    clock_us: u64,
+    breaker: Option<CircuitBreaker>,
+    queries: u64,
+    successes: u64,
+    failures: u64,
+    breaker_rejections: u64,
+    retries: u64,
+    truncated: u64,
+    success_latencies_us: Vec<u64>,
+}
+
+/// The production-shaped retrieval decorator: bounded retries with
+/// exponential backoff + jitter, per-attempt deadlines, and a circuit
+/// breaker — all over simulated time.
+#[derive(Debug)]
+pub struct ResilientBackend<B> {
+    inner: B,
+    config: ResilienceConfig,
+    state: Mutex<ResilientState>,
+}
+
+impl<B: KgBackend> ResilientBackend<B> {
+    pub fn new(inner: B, config: ResilienceConfig) -> Self {
+        let breaker = CircuitBreaker::new(config.breaker.clone());
+        ResilientBackend {
+            inner,
+            config,
+            state: Mutex::new(ResilientState {
+                breaker: Some(breaker),
+                ..ResilientState::default()
+            }),
+        }
+    }
+
+    pub fn config(&self) -> &ResilienceConfig {
+        &self.config
+    }
+
+    /// Current simulated time.
+    pub fn clock_us(&self) -> u64 {
+        self.state.lock().unwrap().clock_us
+    }
+
+    /// Snapshot of the metrics ledger.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let state = self.state.lock().unwrap();
+        let mut sorted = state.success_latencies_us.clone();
+        sorted.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            if sorted.is_empty() {
+                0
+            } else {
+                sorted[((sorted.len() - 1) as f64 * p) as usize]
+            }
+        };
+        MetricsSnapshot {
+            queries: state.queries,
+            successes: state.successes,
+            failures: state.failures,
+            breaker_rejections: state.breaker_rejections,
+            retries: state.retries,
+            breaker_trips: state.breaker.as_ref().map_or(0, |b| b.trips()),
+            truncated: state.truncated,
+            latency_p50_us: pct(0.50),
+            latency_p99_us: pct(0.99),
+        }
+    }
+
+    /// Current breaker state (for tests and diagnostics).
+    pub fn breaker_state(&self) -> BreakerState {
+        self.state
+            .lock()
+            .unwrap()
+            .breaker
+            .as_ref()
+            .map_or(BreakerState::Closed, |b| b.state())
+    }
+}
+
+impl<B: KgBackend> KgBackend for ResilientBackend<B> {
+    fn search_entities(
+        &self,
+        query: &str,
+        top_k: usize,
+        deadline: Deadline,
+    ) -> Result<SearchOutcome, RetrievalError> {
+        let mut state = self.state.lock().unwrap();
+        let state = &mut *state;
+        state.queries += 1;
+        let query_index = state.queries - 1;
+        let started_us = state.clock_us;
+        let mut attempt: u32 = 0;
+        loop {
+            let now = state.clock_us;
+            let breaker = state.breaker.as_mut().expect("breaker always present");
+            if !breaker.allow(now) {
+                let remaining = breaker.open_until_us().unwrap_or(now).saturating_sub(now);
+                state.breaker_rejections += 1;
+                state.failures += 1;
+                return Err(RetrievalError::CircuitOpen {
+                    cooldown_remaining_us: remaining,
+                });
+            }
+            let spent = state.clock_us - started_us;
+            let remaining_budget = deadline.budget_us().saturating_sub(spent);
+            let attempt_deadline =
+                Deadline::from_us(self.config.attempt_budget_us.min(remaining_budget));
+            match self.inner.search_entities(query, top_k, attempt_deadline) {
+                Ok(mut outcome) => {
+                    state.clock_us += outcome.latency_us;
+                    state
+                        .breaker
+                        .as_mut()
+                        .expect("breaker always present")
+                        .record(state.clock_us, true);
+                    state.successes += 1;
+                    if outcome.truncated {
+                        state.truncated += 1;
+                    }
+                    // Report the query's end-to-end latency, including
+                    // failed attempts and backoff.
+                    outcome.latency_us = state.clock_us - started_us;
+                    state.success_latencies_us.push(outcome.latency_us);
+                    return Ok(outcome);
+                }
+                Err(error) => {
+                    let cost = match &error {
+                        RetrievalError::Timeout { budget_us, .. } => *budget_us,
+                        _ => self.config.failure_cost_us,
+                    };
+                    state.clock_us += cost;
+                    state
+                        .breaker
+                        .as_mut()
+                        .expect("breaker always present")
+                        .record(state.clock_us, false);
+                    let out_of_budget =
+                        state.clock_us - started_us >= deadline.budget_us();
+                    if attempt >= self.config.max_retries
+                        || !error.is_retryable()
+                        || out_of_budget
+                    {
+                        state.failures += 1;
+                        return Err(if attempt == 0 {
+                            error
+                        } else {
+                            RetrievalError::RetriesExhausted {
+                                attempts: attempt + 1,
+                                last: Box::new(error),
+                            }
+                        });
+                    }
+                    let jitter_draw = unit(mix(
+                        self.config.seed,
+                        query_index
+                            .wrapping_mul(31)
+                            .wrapping_add(attempt as u64),
+                    ));
+                    state.clock_us += backoff_delay_us(&self.config, attempt, jitter_draw);
+                    state.retries += 1;
+                    attempt += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kglink_kg::{Entity, KgBuilder, NeSchema};
+
+    fn searcher() -> crate::EntitySearcher {
+        let mut b = KgBuilder::new();
+        let ty = b.add_type("Musician", None);
+        for name in ["Peter Steele", "Anna Kovacs", "Peter Banks", "Peter Gabriel"] {
+            b.add_instance(Entity::new(name, NeSchema::Person), ty);
+        }
+        crate::EntitySearcher::build(&b.build())
+    }
+
+    #[test]
+    fn healthy_faulty_backend_passes_hits_through() {
+        let s = searcher();
+        let faulty = FaultyBackend::new(&s, FaultConfig::healthy(7));
+        let direct = s.link_mention("Peter", 5);
+        let wrapped = faulty
+            .search_entities("Peter", 5, Deadline::UNBOUNDED)
+            .expect("no faults configured");
+        assert_eq!(wrapped.hits, direct);
+        assert!(!wrapped.truncated);
+        assert!(wrapped.latency_us >= 200, "healthy latency is injected");
+    }
+
+    #[test]
+    fn outage_window_fails_exactly_its_calls() {
+        let s = searcher();
+        let faulty = FaultyBackend::new(&s, FaultConfig::healthy(7).with_outage(2, 4));
+        let mut results = Vec::new();
+        for _ in 0..6 {
+            results.push(
+                faulty
+                    .search_entities("Peter", 3, Deadline::UNBOUNDED)
+                    .is_ok(),
+            );
+        }
+        assert_eq!(results, vec![true, true, false, false, true, true]);
+        assert_eq!(faulty.calls(), 6);
+    }
+
+    #[test]
+    fn full_fault_rate_fails_every_call() {
+        let s = searcher();
+        let faulty = FaultyBackend::new(&s, FaultConfig::with_fault_rate(3, 1.0));
+        for _ in 0..50 {
+            assert!(faulty
+                .search_entities("Peter", 3, Deadline::from_us(10_000))
+                .is_err());
+        }
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_per_call_index() {
+        let s = searcher();
+        let run = || {
+            let faulty = FaultyBackend::new(&s, FaultConfig::with_fault_rate(11, 0.4));
+            (0..40)
+                .map(|_| {
+                    faulty
+                        .search_entities("Peter", 3, Deadline::from_us(5_000))
+                        .map(|o| (o.hits, o.truncated))
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn breaker_walks_closed_open_halfopen_closed() {
+        let config = BreakerConfig {
+            window: 8,
+            min_samples: 4,
+            failure_threshold: 0.5,
+            cooldown_us: 1_000,
+            halfopen_successes: 2,
+        };
+        let mut breaker = CircuitBreaker::new(config);
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        for now in 0..4 {
+            assert!(breaker.allow(now));
+            breaker.record(now, false);
+        }
+        assert_eq!(breaker.state(), BreakerState::Open);
+        assert_eq!(breaker.trips(), 1);
+        assert!(!breaker.allow(500), "still cooling down");
+        assert!(breaker.allow(4 + 1_000), "cooldown elapsed admits a probe");
+        assert_eq!(breaker.state(), BreakerState::HalfOpen);
+        breaker.record(1_100, true);
+        breaker.record(1_200, true);
+        assert_eq!(breaker.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn halfopen_failure_reopens() {
+        let mut breaker = CircuitBreaker::new(BreakerConfig {
+            window: 4,
+            min_samples: 2,
+            failure_threshold: 0.5,
+            cooldown_us: 100,
+            halfopen_successes: 1,
+        });
+        breaker.record(0, false);
+        breaker.record(1, false);
+        assert_eq!(breaker.state(), BreakerState::Open);
+        assert!(breaker.allow(200));
+        breaker.record(201, false);
+        assert_eq!(breaker.state(), BreakerState::Open);
+        assert_eq!(breaker.trips(), 2);
+    }
+
+    #[test]
+    fn resilient_backend_retries_through_transients() {
+        let s = searcher();
+        // Transient faults at 40%: with 3 retries almost every query lands.
+        let faulty = FaultyBackend::new(&s, FaultConfig::with_fault_rate(5, 0.4));
+        let resilient = ResilientBackend::new(
+            faulty,
+            ResilienceConfig {
+                attempt_budget_us: 100_000,
+                ..ResilienceConfig::default()
+            },
+        );
+        let mut ok = 0;
+        for _ in 0..30 {
+            if resilient
+                .search_entities("Peter", 3, Deadline::UNBOUNDED)
+                .is_ok()
+            {
+                ok += 1;
+            }
+        }
+        let metrics = resilient.metrics();
+        assert!(ok >= 25, "retries should absorb most faults, got {ok}/30");
+        assert!(metrics.retries > 0);
+        assert_eq!(metrics.queries, 30);
+        assert_eq!(metrics.successes + metrics.failures, 30);
+        assert!(metrics.latency_p99_us >= metrics.latency_p50_us);
+    }
+
+    #[test]
+    fn full_outage_trips_the_breaker_and_fails_fast() {
+        let s = searcher();
+        let faulty = FaultyBackend::new(&s, FaultConfig::with_fault_rate(9, 1.0));
+        let resilient = ResilientBackend::new(faulty, ResilienceConfig::default());
+        for _ in 0..40 {
+            assert!(resilient
+                .search_entities("Peter", 3, Deadline::UNBOUNDED)
+                .is_err());
+        }
+        let metrics = resilient.metrics();
+        assert_eq!(metrics.successes, 0);
+        assert!(metrics.breaker_trips >= 1, "sustained failures must trip");
+        assert!(
+            metrics.breaker_rejections > 0,
+            "open breaker must reject instead of hammering the backend"
+        );
+    }
+
+    #[test]
+    fn backoff_is_monotone_and_capped() {
+        let config = ResilienceConfig::default();
+        let mut last = 0;
+        for attempt in 0..12 {
+            let delay = backoff_delay_us(&config, attempt, 0.7);
+            assert!(delay >= last);
+            assert!(delay <= config.backoff_cap_us);
+            last = delay;
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_latency_and_backoff() {
+        let s = searcher();
+        let resilient = ResilientBackend::new(
+            FaultyBackend::new(&s, FaultConfig::healthy(1)),
+            ResilienceConfig::default(),
+        );
+        assert_eq!(resilient.clock_us(), 0);
+        resilient
+            .search_entities("Peter", 3, Deadline::UNBOUNDED)
+            .unwrap();
+        let after_one = resilient.clock_us();
+        assert!(after_one >= 200, "healthy latency advances the clock");
+        resilient
+            .search_entities("Anna", 3, Deadline::UNBOUNDED)
+            .unwrap();
+        assert!(resilient.clock_us() > after_one);
+    }
+}

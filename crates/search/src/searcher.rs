@@ -1,5 +1,6 @@
 //! Entity-level retrieval over a knowledge graph.
 
+use crate::backend::{Deadline, KgBackend, RetrievalError, SearchOutcome};
 use crate::bm25::Bm25Params;
 use crate::index::{InvertedIndex, SearchHit};
 use kglink_kg::{EntityId, KnowledgeGraph};
@@ -57,6 +58,24 @@ impl EntitySearcher {
     /// The underlying index (for statistics).
     pub fn index(&self) -> &InvertedIndex {
         &self.index
+    }
+}
+
+/// The in-process searcher is an infallible, zero-latency backend: the
+/// local BM25 lookup cannot time out or drop a shard. Fault behaviour is
+/// layered on by the wrappers in [`crate::resilience`].
+impl KgBackend for EntitySearcher {
+    fn search_entities(
+        &self,
+        query: &str,
+        top_k: usize,
+        _deadline: Deadline,
+    ) -> Result<SearchOutcome, RetrievalError> {
+        Ok(SearchOutcome {
+            hits: self.link_mention(query, top_k),
+            latency_us: 0,
+            truncated: false,
+        })
     }
 }
 

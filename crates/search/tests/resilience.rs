@@ -1,0 +1,132 @@
+//! Property tests for the resilience layer: circuit-breaker discipline,
+//! retry bounds, backoff shape, and fault-injection transparency at rate 0.
+
+use kglink_kg::{Entity, KgBuilder, KnowledgeGraph, NeSchema};
+use kglink_search::{
+    backoff_delay_us, BreakerConfig, CircuitBreaker, Deadline, EntitySearcher, FaultConfig,
+    FaultyBackend, KgBackend, ResilienceConfig, ResilientBackend,
+};
+use proptest::prelude::*;
+
+fn tiny_graph() -> KnowledgeGraph {
+    let mut b = KgBuilder::new();
+    let musician = b.add_type("Musician", None);
+    b.add_instance(Entity::new("Peter Steele", NeSchema::Person), musician);
+    let city = b.add_type("City", None);
+    b.add_instance(Entity::new("Springfield", NeSchema::Place), city);
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    // The breaker must never admit a call while Open and inside the
+    // cooldown, for *any* interleaving of outcomes and time steps.
+    #[test]
+    fn breaker_never_serves_from_open_before_cooldown(
+        events in proptest::collection::vec((0u64..30_000, 0u8..2), 1..80),
+        cooldown in 1u64..200_000,
+    ) {
+        let mut breaker = CircuitBreaker::new(BreakerConfig {
+            window: 8,
+            min_samples: 2,
+            failure_threshold: 0.5,
+            cooldown_us: cooldown,
+            halfopen_successes: 1,
+        });
+        let mut now = 0u64;
+        for (dt, ok) in events {
+            now += dt;
+            let open_until = breaker.open_until_us();
+            let admitted = breaker.allow(now);
+            if let Some(until) = open_until {
+                if now < until {
+                    prop_assert!(!admitted, "admitted at {} while open until {}", now, until);
+                } else {
+                    prop_assert!(admitted, "cooldown elapsed at {} but still rejected", now);
+                }
+            }
+            if admitted {
+                breaker.record(now, ok == 1);
+            }
+        }
+    }
+
+    // The decorator never hits the inner backend more than
+    // `1 + max_retries` times per query, at any fault rate.
+    #[test]
+    fn retry_count_bounded_by_config(
+        rate in 0.0f64..1.0,
+        max_retries in 0u32..5,
+        n_queries in 1usize..25,
+        seed in 0u64..1_000,
+    ) {
+        let graph = tiny_graph();
+        let searcher = EntitySearcher::build(&graph);
+        let faulty = FaultyBackend::new(&searcher, FaultConfig::with_fault_rate(seed, rate));
+        let resilient = ResilientBackend::new(
+            &faulty,
+            ResilienceConfig { max_retries, ..Default::default() },
+        );
+        for i in 0..n_queries {
+            let _ = resilient.search_entities(&format!("peter {i}"), 3, Deadline::UNBOUNDED);
+        }
+        prop_assert!(
+            faulty.calls() <= n_queries as u64 * (1 + max_retries) as u64,
+            "{} inner calls for {} queries with {} retries",
+            faulty.calls(), n_queries, max_retries
+        );
+        let m = resilient.metrics();
+        prop_assert!(m.retries <= m.queries * max_retries as u64);
+    }
+
+    // For any configuration and jitter draws, backoff delays are monotone
+    // non-decreasing over attempts and never exceed the cap.
+    #[test]
+    fn backoff_monotone_and_capped(
+        base in 1u64..5_000,
+        mult_pct in 100u32..400,
+        cap in 1u64..50_000,
+        jitter in 0.0f64..1.5,
+        draws in proptest::collection::vec(0.0f64..1.0, 2..12),
+    ) {
+        let config = ResilienceConfig {
+            backoff_base_us: base,
+            backoff_multiplier: f64::from(mult_pct) / 100.0,
+            backoff_cap_us: cap,
+            jitter,
+            ..Default::default()
+        };
+        let delays: Vec<u64> = draws
+            .iter()
+            .enumerate()
+            .map(|(attempt, &u)| backoff_delay_us(&config, attempt as u32, u))
+            .collect();
+        for w in delays.windows(2) {
+            prop_assert!(w[0] <= w[1], "backoff not monotone: {:?}", delays);
+        }
+        for &d in &delays {
+            prop_assert!(d <= cap, "delay {} exceeds cap {}", d, cap);
+        }
+    }
+
+    // At fault rate 0 the injector is transparent: identical hits, never
+    // truncated, never erroring.
+    #[test]
+    fn zero_fault_rate_is_transparent(
+        queries in proptest::collection::vec("[a-z]{1,10}( [a-z]{1,10})?", 1..20),
+        seed in 0u64..1_000,
+    ) {
+        let graph = tiny_graph();
+        let searcher = EntitySearcher::build(&graph);
+        let faulty = FaultyBackend::new(&searcher, FaultConfig::with_fault_rate(seed, 0.0));
+        for q in &queries {
+            let direct = searcher.search_entities(q, 5, Deadline::UNBOUNDED).unwrap();
+            let via = faulty.search_entities(q, 5, Deadline::UNBOUNDED);
+            prop_assert!(via.is_ok(), "fault injected at rate 0: {:?}", via);
+            let via = via.unwrap();
+            prop_assert_eq!(&via.hits, &direct.hits);
+            prop_assert!(!via.truncated);
+        }
+    }
+}

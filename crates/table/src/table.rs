@@ -119,7 +119,7 @@ impl Table {
         let n = values.len() as f64;
         let mean = values.iter().sum::<f64>() / n;
         let variance = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
-        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        values.sort_by(|a, b| a.total_cmp(b));
         let median = values[values.len() / 2];
         Some(NumericStats {
             mean,
@@ -259,7 +259,7 @@ mod tests {
     #[test]
     fn split_columns_chunks_wide_tables() {
         let cols: Vec<Vec<CellValue>> = (0..10).map(|i| cells(&[&i.to_string()])).collect();
-        let labels = (0..10).map(|i| LabelId(i)).collect();
+        let labels = (0..10).map(LabelId).collect();
         let t = Table::new(TableId(4), vec![], cols, labels);
         let parts = t.split_columns(8);
         assert_eq!(parts.len(), 2);

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: release build, full test suite, strict clippy.
+# Run from the repository root. Any failure fails the script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== cargo clippy --workspace --all-targets -- -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI OK"

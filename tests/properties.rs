@@ -34,7 +34,7 @@ proptest! {
         let df = df.min(n);
         let idf = Bm25Params::idf(n, df);
         prop_assert!(idf > 0.0);
-        if df + 1 <= n {
+        if df < n {
             prop_assert!(Bm25Params::idf(n, df + 1) <= idf + 1e-6);
         }
     }

@@ -1,0 +1,339 @@
+//! Value-generation strategies: numeric ranges, tuples, `Just`, and a
+//! regex-subset string strategy (`&str` patterns).
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// Subset of `proptest::strategy::Strategy`: deterministic generation,
+/// no shrinking.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// `Just(v)` — always yields a clone of `v`.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (s, e) = (*self.start(), *self.end());
+                assert!(s <= e, "empty range strategy");
+                let span = (e as i128 - s as i128) as u128 + 1;
+                (s as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (s, e) = (*self.start(), *self.end());
+                s + (rng.unit_f64() as $t) * (e - s)
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+impl Strategy for Range<char> {
+    type Value = char;
+    fn generate(&self, rng: &mut TestRng) -> char {
+        let (s, e) = (self.start as u32, self.end as u32);
+        assert!(s < e, "empty range strategy");
+        char::from_u32(s + (rng.next_u64() % (e - s) as u64) as u32).unwrap_or(self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy!((A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+/// `&str` patterns are regex strategies, as in real proptest — restricted
+/// to the subset the workspace's tests use: literals, `.`, `[a-z0-9_]`
+/// classes, `( … )` groups, and `{m}` / `{m,n}` / `*` / `+` / `?`
+/// quantifiers. Unsupported syntax panics loudly at generation time.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let nodes = parse_pattern(self);
+        let mut out = String::new();
+        for node in &nodes {
+            node.emit(rng, &mut out);
+        }
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        self.as_str().generate(rng)
+    }
+}
+
+/// Alphabet behind `.`: printable ASCII plus a few multibyte code points so
+/// Unicode-sensitive properties (case mapping, multi-byte boundaries) get
+/// exercised.
+const DOT_EXTRAS: &[char] = &['é', 'ß', 'Ω', '中', 'À', '🄰'];
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Lit(char),
+    Dot,
+    Class(Vec<(char, char)>),
+    Group(Vec<Quantified>),
+}
+
+#[derive(Debug, Clone)]
+struct Quantified {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+impl Quantified {
+    fn emit(&self, rng: &mut TestRng, out: &mut String) {
+        let count = self.min + (rng.next_u64() % (self.max - self.min + 1) as u64) as u32;
+        for _ in 0..count {
+            match &self.atom {
+                Atom::Lit(c) => out.push(*c),
+                Atom::Dot => {
+                    let printable = 0x7e - 0x20 + 1;
+                    let idx = (rng.next_u64() % (printable + DOT_EXTRAS.len() as u64)) as usize;
+                    if idx < printable as usize {
+                        out.push((0x20 + idx as u8) as char);
+                    } else {
+                        out.push(DOT_EXTRAS[idx - printable as usize]);
+                    }
+                }
+                Atom::Class(ranges) => {
+                    let total: u64 = ranges
+                        .iter()
+                        .map(|(a, b)| (*b as u64) - (*a as u64) + 1)
+                        .sum();
+                    let mut pick = rng.next_u64() % total;
+                    for (a, b) in ranges {
+                        let span = (*b as u64) - (*a as u64) + 1;
+                        if pick < span {
+                            out.push(char::from_u32(*a as u32 + pick as u32).unwrap());
+                            break;
+                        }
+                        pick -= span;
+                    }
+                }
+                Atom::Group(inner) => {
+                    for q in inner {
+                        q.emit(rng, out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Quantified> {
+    let mut chars: Vec<char> = pattern.chars().collect();
+    chars.reverse(); // pop() from the front
+    let nodes = parse_sequence(&mut chars, pattern);
+    assert!(
+        chars.is_empty(),
+        "unsupported regex (unbalanced ')'): {pattern:?}"
+    );
+    nodes
+}
+
+fn parse_sequence(chars: &mut Vec<char>, pattern: &str) -> Vec<Quantified> {
+    let mut out = Vec::new();
+    while let Some(&c) = chars.last() {
+        if c == ')' {
+            break;
+        }
+        chars.pop();
+        let atom = match c {
+            '.' => Atom::Dot,
+            '[' => Atom::Class(parse_class(chars, pattern)),
+            '(' => {
+                let inner = parse_sequence(chars, pattern);
+                assert_eq!(chars.pop(), Some(')'), "unbalanced '(' in {pattern:?}");
+                Atom::Group(inner)
+            }
+            '\\' => Atom::Lit(chars.pop().unwrap_or_else(|| {
+                panic!("dangling escape in {pattern:?}")
+            })),
+            '|' | '^' | '$' => panic!("unsupported regex feature {c:?} in {pattern:?}"),
+            other => Atom::Lit(other),
+        };
+        let (min, max) = parse_quantifier(chars, pattern);
+        out.push(Quantified { atom, min, max });
+    }
+    out
+}
+
+fn parse_class(chars: &mut Vec<char>, pattern: &str) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    loop {
+        let c = chars
+            .pop()
+            .unwrap_or_else(|| panic!("unterminated class in {pattern:?}"));
+        match c {
+            ']' => break,
+            '^' if ranges.is_empty() => panic!("negated classes unsupported in {pattern:?}"),
+            '\\' => {
+                let lit = chars
+                    .pop()
+                    .unwrap_or_else(|| panic!("dangling escape in {pattern:?}"));
+                ranges.push((lit, lit));
+            }
+            start => {
+                if chars.last() == Some(&'-') && chars.len() >= 2 && chars[chars.len() - 2] != ']' {
+                    chars.pop(); // '-'
+                    let end = chars.pop().unwrap();
+                    assert!(start <= end, "inverted class range in {pattern:?}");
+                    ranges.push((start, end));
+                } else {
+                    ranges.push((start, start));
+                }
+            }
+        }
+    }
+    assert!(!ranges.is_empty(), "empty class in {pattern:?}");
+    ranges
+}
+
+fn parse_quantifier(chars: &mut Vec<char>, pattern: &str) -> (u32, u32) {
+    match chars.last() {
+        Some('*') => {
+            chars.pop();
+            (0, 8)
+        }
+        Some('+') => {
+            chars.pop();
+            (1, 8)
+        }
+        Some('?') => {
+            chars.pop();
+            (0, 1)
+        }
+        Some('{') => {
+            chars.pop();
+            let mut spec = String::new();
+            loop {
+                let c = chars
+                    .pop()
+                    .unwrap_or_else(|| panic!("unterminated quantifier in {pattern:?}"));
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            let parse = |s: &str| -> u32 {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad quantifier {spec:?} in {pattern:?}"))
+            };
+            match spec.split_once(',') {
+                None => {
+                    let n = parse(&spec);
+                    (n, n)
+                }
+                Some((lo, hi)) if hi.trim().is_empty() => (parse(lo), parse(lo) + 8),
+                Some((lo, hi)) => (parse(lo), parse(hi)),
+            }
+        }
+        _ => (1, 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pattern: &str, seed: u64) -> String {
+        pattern.generate(&mut TestRng::new(seed))
+    }
+
+    #[test]
+    fn class_with_group_repetition() {
+        for seed in 0..50 {
+            let s = gen("[a-z]{1,8}( [a-z]{1,8}){0,4}", seed);
+            for word in s.split(' ') {
+                assert!(!word.is_empty() && word.len() <= 8, "bad word in {s:?}");
+                assert!(word.chars().all(|c| c.is_ascii_lowercase()));
+            }
+        }
+    }
+
+    #[test]
+    fn dot_respects_length_bounds() {
+        for seed in 0..50 {
+            let s = gen(".{0,30}", seed);
+            assert!(s.chars().count() <= 30);
+        }
+    }
+
+    #[test]
+    fn exact_and_open_quantifiers() {
+        for seed in 0..20 {
+            assert_eq!(gen("[0-9]{3}", seed).len(), 3);
+            let star = gen("a*", seed);
+            assert!(star.len() <= 8 && star.chars().all(|c| c == 'a'));
+            let plus = gen("b+", seed);
+            assert!(!plus.is_empty() && plus.len() <= 8);
+        }
+    }
+
+    #[test]
+    fn multi_range_class() {
+        for seed in 0..40 {
+            let s = gen("[a-c0-2_]{5}", seed);
+            assert!(s.chars().all(|c| matches!(c, 'a'..='c' | '0'..='2' | '_')));
+        }
+    }
+}

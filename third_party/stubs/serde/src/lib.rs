@@ -1,0 +1,7 @@
+//! Minimal stand-in for `serde` 1.x: re-exports the no-op derive macros.
+//!
+//! The workspace uses serde only as `#[derive(Serialize, Deserialize)]`
+//! markers on config/metadata types; no code path serializes through the
+//! serde data model, so no traits or impls are required beyond the derives.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` on config and
+//! metadata types — nothing ever serializes through serde (weight blobs go
+//! through `bytes`). Emitting an empty impl block keeps the derive
+//! attribute valid while adding zero generated code.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
