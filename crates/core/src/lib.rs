@@ -50,6 +50,6 @@ pub use config::{KgLinkConfig, RowFilter};
 pub use error::KgLinkError;
 pub use linking::{CellLink, LinkedTable};
 pub use model::KgLinkModel;
-pub use pipeline::{KgLink, TrainReport};
+pub use pipeline::{AnnotateOutcome, KgLink, TrainReport};
 pub use preprocess::{preprocess_table, ProcessedTable, Preprocessor};
 pub use stats::{DegradationStats, LinkStatistics, LinkageClass};

@@ -9,7 +9,7 @@ use kglink_kg::KnowledgeGraph;
 use kglink_nn::layers::param::HasParams;
 use kglink_nn::serialize::load_params;
 use kglink_nn::{Tokenizer, Vocab};
-use kglink_search::KgBackend;
+use kglink_search::{Deadline, KgBackend};
 use kglink_table::{Dataset, EvalSummary, LabelId, LabelVocab, Split, Table};
 
 /// Everything external a KGLink instance needs: the KG, a retrieval backend
@@ -71,6 +71,17 @@ pub fn build_vocab<'a>(
     Vocab::build(texts.iter().map(String::as_str), 1, max_size)
 }
 
+/// Labels plus degradation accounting for one annotated table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnnotateOutcome {
+    /// One predicted label per column of the input table.
+    pub labels: Vec<LabelId>,
+    /// Columns degraded to the no-linkage path by retrieval failures.
+    pub degraded_columns: usize,
+    /// Cells whose retrieval was attempted but failed.
+    pub failed_cells: usize,
+}
+
 /// A trained KGLink annotator.
 pub struct KgLink {
     pub config: KgLinkConfig,
@@ -125,22 +136,59 @@ impl KgLink {
     /// Annotate one raw table: runs Part 1 and Part 2 end to end and
     /// returns one label per column.
     pub fn annotate(&self, resources: &Resources<'_>, table: &Table) -> Vec<LabelId> {
-        let pre = Preprocessor::new(resources.graph, resources.backend, self.config.clone());
-        let mut out = Vec::with_capacity(table.n_cols());
+        self.annotate_outcome(resources, table, Deadline::UNBOUNDED)
+            .labels
+    }
+
+    /// [`annotate`](Self::annotate) under a per-request retrieval budget:
+    /// `deadline` tightens the configured `retrieval_deadline_us` for every
+    /// KG query this annotation issues. Queries past the budget fail and
+    /// degrade their column to the no-linkage path — the output arity never
+    /// changes.
+    pub fn annotate_with_deadline(
+        &self,
+        resources: &Resources<'_>,
+        table: &Table,
+        deadline: Deadline,
+    ) -> Vec<LabelId> {
+        self.annotate_outcome(resources, table, deadline).labels
+    }
+
+    /// The full annotation entry point: labels plus degradation accounting,
+    /// under a per-request retrieval deadline. This is what the serving
+    /// layer (`kglink-serve`) calls per request.
+    pub fn annotate_outcome(
+        &self,
+        resources: &Resources<'_>,
+        table: &Table,
+        deadline: Deadline,
+    ) -> AnnotateOutcome {
+        let mut config = self.config.clone();
+        config.retrieval_deadline_us = config.retrieval_deadline_us.min(deadline.budget_us());
+        let pre = Preprocessor::new(resources.graph, resources.backend, config.clone());
+        let mut labels = Vec::with_capacity(table.n_cols());
+        let mut degraded_columns = 0;
+        let mut failed_cells = 0;
         for pt in pre.process(table) {
+            degraded_columns += pt.degraded_columns();
+            failed_cells += pt.failed_cells;
             let prep = prepare_tables(
                 std::slice::from_ref(&pt),
                 resources.tokenizer,
                 &self.labels,
-                &self.config,
+                &config,
                 false,
             );
-            out.extend(train::predict_table(&self.model, &self.config, &prep[0]));
+            labels.extend(train::predict_table(&self.model, &config, &prep[0]));
         }
         // Degenerate or skipped chunks must not change the output arity:
         // pad with the first label as a deterministic fallback.
-        out.resize(table.n_cols(), LabelId(0));
-        out
+        labels.resize(table.n_cols(), LabelId(0));
+        AnnotateOutcome {
+            labels,
+            degraded_columns,
+            failed_cells,
+        }
     }
 
     /// Annotate one raw table, returning label names.
@@ -233,6 +281,43 @@ mod tests {
         let t = bench.dataset.tables_in(Split::Test).next().unwrap();
         let names = kglink.annotate_names(&resources, t);
         assert_eq!(names.len(), t.n_cols());
+    }
+
+    #[test]
+    fn annotate_outcome_reports_degradation_under_tight_deadlines() {
+        use kglink_search::{FaultConfig, FaultyBackend};
+
+        let world = SyntheticWorld::generate(&WorldConfig::tiny(79));
+        let bench = semtab_like(&world, &SemTabConfig::tiny(79));
+        let searcher = EntitySearcher::build(&world.graph);
+        let corpus = pretrain_corpus(&world, 2);
+        let vocab = build_vocab(corpus.iter().map(String::as_str), &[&bench.dataset], 6000);
+        let tokenizer = Tokenizer::new(vocab);
+        let resources = Resources::new(&world.graph, &searcher, &tokenizer);
+        let (kglink, _) = KgLink::fit(&resources, &bench.dataset, KgLinkConfig::fast_test());
+        let t = bench.dataset.tables_in(Split::Test).next().unwrap();
+
+        // Unbounded deadline over a healthy backend: nothing degrades, and
+        // the outcome's labels are exactly what `annotate` returns.
+        let clean = kglink.annotate_outcome(&resources, t, Deadline::UNBOUNDED);
+        assert_eq!(clean.labels, kglink.annotate(&resources, t));
+        assert_eq!(clean.labels.len(), t.n_cols());
+        assert_eq!(clean.degraded_columns, 0);
+        assert_eq!(clean.failed_cells, 0);
+
+        // A zero budget over a latency-injecting backend times out every
+        // retrieval: the outcome keeps its arity and reports degradation.
+        let slow = FaultyBackend::new(&searcher, FaultConfig::healthy(79));
+        let slow_resources = Resources::new(&world.graph, &slow, &tokenizer);
+        let expired = kglink.annotate_outcome(&slow_resources, t, Deadline::from_us(0));
+        assert_eq!(expired.labels.len(), t.n_cols());
+        assert!(expired.failed_cells > 0, "every retrieval must time out");
+        assert!(expired.degraded_columns > 0);
+        assert_eq!(
+            expired.labels,
+            kglink.annotate_with_deadline(&slow_resources, t, Deadline::from_us(0)),
+            "degraded annotation is deterministic"
+        );
     }
 
     #[test]

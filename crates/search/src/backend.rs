@@ -154,6 +154,19 @@ impl<B: KgBackend + ?Sized> KgBackend for &B {
     }
 }
 
+/// Owned shared backends (the serving layer hands `Arc<dyn KgBackend>`
+/// stacks to worker threads) delegate like references do.
+impl<B: KgBackend + ?Sized> KgBackend for std::sync::Arc<B> {
+    fn search_entities(
+        &self,
+        query: &str,
+        top_k: usize,
+        deadline: Deadline,
+    ) -> Result<SearchOutcome, RetrievalError> {
+        (**self).search_entities(query, top_k, deadline)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

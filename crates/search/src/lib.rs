@@ -17,10 +17,13 @@
 //! Production-scale retrieval is *fallible*: [`KgBackend`] is the
 //! deadline-aware trait the pipeline consumes, and [`resilience`] provides
 //! deterministic fault injection plus a retry/backoff/circuit-breaker
-//! decorator around any backend.
+//! decorator around any backend. [`cache`] adds a sharded-LRU memoization
+//! decorator ([`CachingBackend`]) that both the serving layer and
+//! training-time preprocessing stack over any of the above.
 
 pub mod backend;
 pub mod bm25;
+pub mod cache;
 pub mod index;
 pub mod resilience;
 pub mod searcher;
@@ -28,6 +31,7 @@ pub mod tokenize;
 
 pub use backend::{Deadline, KgBackend, RetrievalError, SearchOutcome};
 pub use bm25::Bm25Params;
+pub use cache::{normalize_mention, CacheConfig, CacheStats, CachingBackend, Lru};
 pub use index::{DocId, InvertedIndex, SearchHit};
 pub use resilience::{
     backoff_delay_us, BreakerConfig, BreakerState, CircuitBreaker, FaultConfig, FaultyBackend,

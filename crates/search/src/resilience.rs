@@ -401,6 +401,29 @@ pub struct MetricsSnapshot {
     pub latency_p99_us: u64,
 }
 
+impl MetricsSnapshot {
+    /// Combine two snapshots (e.g. one per worker shard of a service) into
+    /// an aggregate: counters add; latency percentiles take the pessimistic
+    /// maximum, since exact percentiles cannot be reconstructed from two
+    /// summaries (the result upper-bounds the true aggregate percentile).
+    ///
+    /// `merge` is commutative and `MetricsSnapshot::default()` is its
+    /// identity, so shard order never changes the aggregate.
+    pub fn merge(&self, other: &Self) -> Self {
+        MetricsSnapshot {
+            queries: self.queries + other.queries,
+            successes: self.successes + other.successes,
+            failures: self.failures + other.failures,
+            breaker_rejections: self.breaker_rejections + other.breaker_rejections,
+            retries: self.retries + other.retries,
+            breaker_trips: self.breaker_trips + other.breaker_trips,
+            truncated: self.truncated + other.truncated,
+            latency_p50_us: self.latency_p50_us.max(other.latency_p50_us),
+            latency_p99_us: self.latency_p99_us.max(other.latency_p99_us),
+        }
+    }
+}
+
 #[derive(Debug, Default)]
 struct ResilientState {
     clock_us: u64,
@@ -729,6 +752,40 @@ mod tests {
             metrics.breaker_rejections > 0,
             "open breaker must reject instead of hammering the backend"
         );
+    }
+
+    #[test]
+    fn metrics_merge_is_commutative_with_default_identity() {
+        let a = MetricsSnapshot {
+            queries: 10,
+            successes: 8,
+            failures: 2,
+            breaker_rejections: 1,
+            retries: 3,
+            breaker_trips: 1,
+            truncated: 2,
+            latency_p50_us: 400,
+            latency_p99_us: 9_000,
+        };
+        let b = MetricsSnapshot {
+            queries: 5,
+            successes: 5,
+            failures: 0,
+            breaker_rejections: 0,
+            retries: 1,
+            breaker_trips: 0,
+            truncated: 0,
+            latency_p50_us: 700,
+            latency_p99_us: 1_200,
+        };
+        assert_eq!(a.merge(&b), b.merge(&a), "merge must be commutative");
+        let merged = a.merge(&b);
+        assert_eq!(merged.queries, 15);
+        assert_eq!(merged.successes, 13);
+        assert_eq!(merged.retries, 4);
+        assert_eq!(merged.latency_p50_us, 700, "pessimistic max");
+        assert_eq!(merged.latency_p99_us, 9_000);
+        assert_eq!(a.merge(&MetricsSnapshot::default()), a, "default is identity");
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Property tests for the sharded LRU retrieval cache: the slab-linked-list
+//! [`Lru`] is checked against a naive recency-ordered reference model, and
+//! [`CachingBackend`] counters must reconcile exactly with the lookup
+//! stream.
+
+use kglink_kg::{Entity, KgBuilder, NeSchema};
+use kglink_search::{CacheConfig, CachingBackend, Deadline, EntitySearcher, KgBackend, Lru};
+use proptest::prelude::*;
+
+/// Naive LRU reference: a vec ordered most-recent-first.
+struct ModelLru {
+    entries: Vec<(u32, u32)>,
+    capacity: usize,
+}
+
+impl ModelLru {
+    fn new(capacity: usize) -> Self {
+        ModelLru {
+            entries: Vec::new(),
+            capacity,
+        }
+    }
+
+    fn get(&mut self, key: u32) -> Option<u32> {
+        let pos = self.entries.iter().position(|&(k, _)| k == key)?;
+        let entry = self.entries.remove(pos);
+        self.entries.insert(0, entry);
+        Some(entry.1)
+    }
+
+    fn put(&mut self, key: u32, value: u32) -> Option<(u32, u32)> {
+        if let Some(pos) = self.entries.iter().position(|&(k, _)| k == key) {
+            self.entries.remove(pos);
+            self.entries.insert(0, (key, value));
+            return None;
+        }
+        let evicted = if self.entries.len() == self.capacity {
+            self.entries.pop()
+        } else {
+            None
+        };
+        self.entries.insert(0, (key, value));
+        evicted
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The slab LRU agrees operation-for-operation with the naive model:
+    /// same lookup results, same evictions (recency order), and the
+    /// capacity bound never breaks.
+    #[test]
+    fn lru_matches_reference_model(
+        capacity in 1usize..6,
+        ops in proptest::collection::vec((0u8..2, 0u32..8, 0u32..1000), 1..60),
+    ) {
+        let mut lru = Lru::new(capacity);
+        let mut model = ModelLru::new(capacity);
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let mut lookups = 0u64;
+        for (op, key, value) in ops {
+            match op {
+                0 => {
+                    lookups += 1;
+                    let got = lru.get(&key).copied();
+                    match got {
+                        Some(_) => hits += 1,
+                        None => misses += 1,
+                    }
+                    prop_assert_eq!(got, model.get(key), "get({}) diverged", key);
+                }
+                _ => {
+                    let evicted = lru.put(key, value);
+                    let model_evicted = model.put(key, value);
+                    prop_assert_eq!(
+                        evicted, model_evicted,
+                        "eviction on put({}, {}) diverged from recency order", key, value
+                    );
+                    // Get-after-put must return exactly the value just put.
+                    prop_assert_eq!(lru.get(&key).copied(), Some(value));
+                    prop_assert_eq!(model.get(key), Some(value));
+                }
+            }
+            prop_assert!(lru.len() <= capacity, "capacity exceeded: {} > {}", lru.len(), capacity);
+            prop_assert_eq!(lru.len(), model.entries.len());
+            prop_assert_eq!(lru.lru_key().copied(), model.entries.last().map(|&(k, _)| k));
+        }
+        prop_assert_eq!(hits + misses, lookups, "every lookup is a hit or a miss");
+    }
+}
+
+fn tiny_searcher() -> EntitySearcher {
+    let mut b = KgBuilder::new();
+    let ty = b.add_type("Musician", None);
+    for name in ["alpha", "beta", "gamma", "delta", "epsilon"] {
+        b.add_instance(Entity::new(name, NeSchema::Person), ty);
+    }
+    EntitySearcher::build(&b.build())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// End-to-end over the backend decorator: for any query stream, every
+    /// repeat of a query returns exactly what the first retrieval returned,
+    /// hit + miss counts reconcile with the lookup total, and the entry
+    /// count never exceeds capacity.
+    #[test]
+    fn caching_backend_is_transparent_and_bounded(
+        queries in proptest::collection::vec("[a-e]{1,4}", 1..40),
+        capacity in 1usize..6,
+    ) {
+        let searcher = tiny_searcher();
+        let cached = CachingBackend::new(&searcher, CacheConfig { capacity, shards: 2 });
+        for q in &queries {
+            let direct = searcher
+                .search_entities(q, 4, Deadline::UNBOUNDED)
+                .expect("in-process searcher is infallible");
+            let via_cache = cached
+                .search_entities(q, 4, Deadline::UNBOUNDED)
+                .expect("cache over infallible backend cannot fail");
+            prop_assert_eq!(
+                via_cache.hits, direct.hits,
+                "cached candidates must be bit-identical to direct retrieval for {:?}", q
+            );
+        }
+        let stats = cached.stats();
+        prop_assert_eq!(stats.lookups(), queries.len() as u64);
+        prop_assert_eq!(stats.hits + stats.misses, stats.lookups());
+        prop_assert!(stats.entries <= stats.capacity);
+        prop_assert_eq!(stats.insertions - stats.evictions, stats.entries as u64);
+    }
+}

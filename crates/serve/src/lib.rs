@@ -1,0 +1,49 @@
+//! kglink-serve: concurrent in-process annotation service for KGLink.
+//!
+//! This crate turns a trained [`KgLink`](kglink_core::KgLink) annotator
+//! into a service: callers submit [`Table`](kglink_table::Table)s and
+//! redeem [`Ticket`]s, while a sharded pool of worker threads runs the
+//! full KG-retrieval + PLM pipeline behind a bounded admission queue.
+//! Everything is std-only (`std::thread`, `mpsc`, `Mutex`/`Condvar`) and
+//! deterministic where it matters:
+//!
+//! * **Sharded worker pool** — N threads drain micro-batches of up to
+//!   `max_batch` tables per wakeup from one bounded MPMC queue
+//!   ([`queue::BoundedQueue`]).
+//! * **Retrieval cache** — a shared
+//!   [`CachingBackend`](kglink_search::CachingBackend) (sharded LRU keyed
+//!   by normalized mention text) sits in front of the caller's backend
+//!   stack, so repeated mentions across tables and workers hit memory
+//!   instead of BM25.
+//! * **Backpressure** — [`AdmissionPolicy`] picks fail-fast
+//!   (`Reject` → [`ServiceError::Overloaded`]), producer throttling
+//!   (`Block`), or freshness-first eviction (`ShedOldest` →
+//!   [`ServiceError::Shed`]).
+//! * **Deadline propagation** — a request's [`Deadline`] budget covers
+//!   queue wait plus retrieval; requests that expire while queued complete
+//!   through the pipeline's graceful no-linkage degradation path with the
+//!   correct output arity.
+//! * **Metrics** — [`ServiceMetrics`] merges per-worker retrieval
+//!   snapshots ([`MetricsSnapshot::merge`](kglink_search::MetricsSnapshot))
+//!   with queue, latency, cache, and simulated busy-time accounting.
+//!
+//! Annotation results are bit-identical across worker counts: each table's
+//! annotation is a pure function of (model, resources, table), and the
+//! cache only ever replays identical retrieval outcomes.
+
+pub mod error;
+pub mod metered;
+pub mod metrics;
+pub mod queue;
+pub mod service;
+mod worker;
+
+pub use error::ServiceError;
+pub use metered::{ExpiredBackend, MeteredBackend};
+pub use metrics::{percentile_us, ServiceMetrics};
+pub use queue::{AdmissionPolicy, BoundedQueue, PushError};
+pub use service::{Annotation, AnnotationService, ServiceConfig, SharedBackend, Ticket};
+
+// Re-exported for callers wiring up a service without importing the
+// search crate directly.
+pub use kglink_search::{CacheConfig, CacheStats, Deadline};

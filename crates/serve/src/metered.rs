@@ -1,0 +1,185 @@
+//! Per-worker retrieval instrumentation.
+//!
+//! Each worker threads its pipeline calls through its own
+//! [`MeteredBackend`], so retrieval counters accumulate lock-free on the
+//! hot path (atomics) and the service can later fold the per-worker
+//! [`MetricsSnapshot`]s into one aggregate with
+//! [`MetricsSnapshot::merge`].
+//!
+//! [`ExpiredBackend`] is the degenerate backend used for requests whose
+//! deadline elapsed while queued: every retrieval fails instantly with a
+//! timeout, which drives the pipeline down its existing graceful
+//! no-linkage degradation path — the request completes with pure-PLM
+//! annotations instead of panicking or blocking a worker.
+
+use crate::service::SharedBackend;
+use kglink_search::{Deadline, KgBackend, MetricsSnapshot, RetrievalError, SearchOutcome};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Counts and times every retrieval a worker performs.
+pub struct MeteredBackend {
+    inner: SharedBackend,
+    queries: AtomicU64,
+    successes: AtomicU64,
+    failures: AtomicU64,
+    truncated: AtomicU64,
+    /// Total simulated retrieval time, microseconds (successes only —
+    /// failures carry no meaningful latency value).
+    sim_latency_us: AtomicU64,
+    latencies_us: Mutex<Vec<u64>>,
+}
+
+impl MeteredBackend {
+    pub fn new(inner: SharedBackend) -> Self {
+        MeteredBackend {
+            inner,
+            queries: AtomicU64::new(0),
+            successes: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            truncated: AtomicU64::new(0),
+            sim_latency_us: AtomicU64::new(0),
+            latencies_us: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Total simulated retrieval microseconds accumulated so far. The
+    /// worker reads this before and after a table to charge the table's
+    /// retrieval cost to its simulated busy-time.
+    pub fn sim_latency_us(&self) -> u64 {
+        self.sim_latency_us.load(Ordering::Relaxed)
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut lat = self
+            .latencies_us
+            .lock()
+            .expect("latency lock poisoned")
+            .clone();
+        lat.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            if lat.is_empty() {
+                0
+            } else {
+                let idx = ((lat.len() as f64 - 1.0) * p).round() as usize;
+                lat[idx.min(lat.len() - 1)]
+            }
+        };
+        MetricsSnapshot {
+            queries: self.queries.load(Ordering::Relaxed),
+            successes: self.successes.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+            breaker_rejections: 0,
+            retries: 0,
+            breaker_trips: 0,
+            truncated: self.truncated.load(Ordering::Relaxed),
+            latency_p50_us: pct(0.50),
+            latency_p99_us: pct(0.99),
+        }
+    }
+}
+
+impl KgBackend for MeteredBackend {
+    fn search_entities(
+        &self,
+        query: &str,
+        top_k: usize,
+        deadline: Deadline,
+    ) -> Result<SearchOutcome, RetrievalError> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        match self.inner.search_entities(query, top_k, deadline) {
+            Ok(outcome) => {
+                self.successes.fetch_add(1, Ordering::Relaxed);
+                if outcome.truncated {
+                    self.truncated.fetch_add(1, Ordering::Relaxed);
+                }
+                self.sim_latency_us
+                    .fetch_add(outcome.latency_us, Ordering::Relaxed);
+                self.latencies_us
+                    .lock()
+                    .expect("latency lock poisoned")
+                    .push(outcome.latency_us);
+                Ok(outcome)
+            }
+            Err(e) => {
+                self.failures.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Backend for requests that timed out while still queued: every call
+/// fails immediately, so annotation falls through to the degraded
+/// no-linkage path without spending any retrieval budget.
+pub struct ExpiredBackend;
+
+impl KgBackend for ExpiredBackend {
+    fn search_entities(
+        &self,
+        _query: &str,
+        _top_k: usize,
+        _deadline: Deadline,
+    ) -> Result<SearchOutcome, RetrievalError> {
+        Err(RetrievalError::Timeout {
+            needed_us: 1,
+            budget_us: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kglink_kg::{Entity, KgBuilder, NeSchema};
+    use kglink_search::EntitySearcher;
+    use std::sync::Arc;
+
+    fn shared_searcher() -> SharedBackend {
+        let mut b = KgBuilder::new();
+        let ty = b.add_type("City", None);
+        b.add_instance(Entity::new("paris", NeSchema::Place), ty);
+        b.add_instance(Entity::new("lyon", NeSchema::Place), ty);
+        Arc::new(EntitySearcher::build(&b.build()))
+    }
+
+    #[test]
+    fn meter_counts_and_snapshots() {
+        let meter = MeteredBackend::new(shared_searcher());
+        for _ in 0..3 {
+            meter
+                .search_entities("paris", 2, Deadline::UNBOUNDED)
+                .expect("searcher is infallible");
+        }
+        let snap = meter.snapshot();
+        assert_eq!(snap.queries, 3);
+        assert_eq!(snap.successes, 3);
+        assert_eq!(snap.failures, 0);
+        // The raw searcher reports zero simulated latency.
+        assert_eq!(meter.sim_latency_us(), 0);
+        assert_eq!(snap.latency_p50_us, 0);
+    }
+
+    #[test]
+    fn expired_backend_always_times_out() {
+        let b = ExpiredBackend;
+        for q in ["a", "b", "c"] {
+            match b.search_entities(q, 5, Deadline::from_us(10)) {
+                Err(RetrievalError::Timeout { needed_us, .. }) => assert_eq!(needed_us, 1),
+                other => panic!("expected timeout, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn meter_records_failures() {
+        let meter = MeteredBackend::new(Arc::new(ExpiredBackend));
+        assert!(meter
+            .search_entities("x", 1, Deadline::from_us(5))
+            .is_err());
+        let snap = meter.snapshot();
+        assert_eq!(snap.queries, 1);
+        assert_eq!(snap.failures, 1);
+        assert_eq!(snap.successes, 0);
+    }
+}

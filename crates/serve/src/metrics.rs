@@ -1,0 +1,195 @@
+//! Service-level observability.
+//!
+//! [`ServiceMetrics`] is a point-in-time snapshot that folds three layers
+//! together:
+//!
+//! 1. **Service counters** — submitted / completed / rejected / shed /
+//!    expired, queue depth, in-flight, and end-to-end latency percentiles.
+//! 2. **Retrieval counters** — per-worker [`MetricsSnapshot`]s merged with
+//!    [`MetricsSnapshot::merge`] into one aggregate view.
+//! 3. **Cache counters** — [`CacheStats`] from the shared
+//!    [`CachingBackend`](kglink_search::CachingBackend), when enabled.
+//!
+//! Because retrieval latency in this repo is *simulated* (microsecond
+//! values threaded through return values, never real sleeps), the snapshot
+//! reports two throughput figures: real wall-clock tables/s, and
+//! simulated tables/s derived from per-worker busy-time. The simulated
+//! makespan (max worker busy-time) is what scaling experiments assert on —
+//! it is deterministic and independent of host core count.
+
+use kglink_search::{CacheStats, MetricsSnapshot};
+use std::fmt;
+
+/// Point-in-time service snapshot; see the module docs for the layers.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceMetrics {
+    /// Requests accepted into the queue (includes later-shed ones).
+    pub submitted: u64,
+    /// Requests fully annotated (including degraded/expired completions).
+    pub completed: u64,
+    /// Requests refused at admission under `Reject`.
+    pub rejected: u64,
+    /// Requests evicted from the queue under `ShedOldest`.
+    pub shed: u64,
+    /// Completed requests whose deadline expired while queued; they were
+    /// served through the degraded no-linkage path.
+    pub expired: u64,
+    /// Items currently queued.
+    pub queue_depth: usize,
+    /// Requests currently being annotated by workers.
+    pub in_flight: usize,
+    /// Columns annotated across all completed requests.
+    pub annotated_columns: u64,
+    /// Columns that fell back to the no-linkage degraded path.
+    pub degraded_columns: u64,
+    /// Individual cell retrievals that failed and were skipped.
+    pub failed_cells: u64,
+    /// p50 end-to-end request latency (queue wait + annotation), µs.
+    pub latency_p50_us: u64,
+    /// p99 end-to-end request latency, µs.
+    pub latency_p99_us: u64,
+    /// Simulated busy-time per worker, µs (retrieval latency + modeled
+    /// per-column annotation cost).
+    pub sim_busy_us: Vec<u64>,
+    /// Real microseconds since the service started.
+    pub uptime_us: u64,
+    /// Merged retrieval metrics across all workers.
+    pub retrieval: MetricsSnapshot,
+    /// Cache counters, if the retrieval cache is enabled.
+    pub cache: Option<CacheStats>,
+}
+
+impl ServiceMetrics {
+    /// Simulated makespan: the busiest worker's simulated time. With a
+    /// fixed workload, halving this when doubling workers is what "2×
+    /// scaling" means here, independent of host parallelism.
+    pub fn sim_makespan_us(&self) -> u64 {
+        self.sim_busy_us.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Real wall-clock throughput in tables per second.
+    pub fn throughput_per_s(&self) -> f64 {
+        if self.uptime_us == 0 {
+            0.0
+        } else {
+            self.completed as f64 / (self.uptime_us as f64 / 1e6)
+        }
+    }
+
+    /// Simulated throughput in tables per second: completed work divided
+    /// by the simulated makespan.
+    pub fn sim_throughput_per_s(&self) -> f64 {
+        let makespan = self.sim_makespan_us();
+        if makespan == 0 {
+            0.0
+        } else {
+            self.completed as f64 / (makespan as f64 / 1e6)
+        }
+    }
+
+    /// Cache hit rate in `[0, 1]`, or 0.0 when the cache is disabled or
+    /// has never been consulted.
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.cache.as_ref().map_or(0.0, |c| c.hit_rate())
+    }
+}
+
+impl fmt::Display for ServiceMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "service: submitted={} completed={} rejected={} shed={} expired={}",
+            self.submitted, self.completed, self.rejected, self.shed, self.expired
+        )?;
+        writeln!(
+            f,
+            "load: queue_depth={} in_flight={} latency_p50={}us p99={}us",
+            self.queue_depth, self.in_flight, self.latency_p50_us, self.latency_p99_us
+        )?;
+        writeln!(
+            f,
+            "annotation: columns={} degraded={} failed_cells={}",
+            self.annotated_columns, self.degraded_columns, self.failed_cells
+        )?;
+        writeln!(
+            f,
+            "throughput: real={:.1}/s sim={:.1}/s (makespan {}us over {} workers)",
+            self.throughput_per_s(),
+            self.sim_throughput_per_s(),
+            self.sim_makespan_us(),
+            self.sim_busy_us.len()
+        )?;
+        writeln!(
+            f,
+            "retrieval: queries={} ok={} failed={} p50={}us p99={}us",
+            self.retrieval.queries,
+            self.retrieval.successes,
+            self.retrieval.failures,
+            self.retrieval.latency_p50_us,
+            self.retrieval.latency_p99_us
+        )?;
+        match &self.cache {
+            Some(c) => write!(
+                f,
+                "cache: hit_rate={:.3} hits={} misses={} entries={}/{} evictions={}",
+                c.hit_rate(),
+                c.hits,
+                c.misses,
+                c.entries,
+                c.capacity,
+                c.evictions
+            ),
+            None => write!(f, "cache: disabled"),
+        }
+    }
+}
+
+/// Percentile over raw sample values (nearest-rank on a sorted copy).
+/// Shared by the worker latency accounting and the experiment binary.
+pub fn percentile_us(samples: &[u64], p: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn makespan_is_max_worker_busy_time() {
+        let m = ServiceMetrics {
+            completed: 10,
+            sim_busy_us: vec![4_000, 9_000, 1_000],
+            ..Default::default()
+        };
+        assert_eq!(m.sim_makespan_us(), 9_000);
+        let per_s = m.sim_throughput_per_s();
+        assert!((per_s - 10.0 / 0.009).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_metrics_do_not_divide_by_zero() {
+        let m = ServiceMetrics::default();
+        assert_eq!(m.sim_makespan_us(), 0);
+        assert_eq!(m.throughput_per_s(), 0.0);
+        assert_eq!(m.sim_throughput_per_s(), 0.0);
+        assert_eq!(m.cache_hit_rate(), 0.0);
+        // Display must render without panicking on the empty snapshot.
+        assert!(m.to_string().contains("cache: disabled"));
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let samples = vec![90, 70, 50, 30, 10, 20, 40, 60, 80];
+        assert_eq!(percentile_us(&samples, 0.0), 10);
+        assert_eq!(percentile_us(&samples, 0.5), 50);
+        assert_eq!(percentile_us(&samples, 1.0), 90);
+        assert_eq!(percentile_us(&[], 0.5), 0);
+        assert_eq!(percentile_us(&[42], 0.99), 42);
+    }
+}

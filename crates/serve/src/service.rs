@@ -1,0 +1,357 @@
+//! The annotation service: submit tables, get tickets, wait for labels.
+//!
+//! [`AnnotationService`] wraps a trained [`KgLink`] behind a sharded worker
+//! pool. The moving parts, front to back:
+//!
+//! ```text
+//!  submit() ──► BoundedQueue (admission policy) ──► worker 0 ─┐
+//!  submit() ──►                                ──► worker 1 ─┼─► reply
+//!  submit() ──►                                ──► worker N ─┘  channels
+//!                       │                            │
+//!                  backpressure                MeteredBackend
+//!                 (Reject/Block/                     │
+//!                   ShedOldest)              CachingBackend (shared LRU)
+//!                                                    │
+//!                                             user backend stack
+//!                                        (searcher / resilient / faulty)
+//! ```
+//!
+//! Determinism: annotation is a pure function of (model, resources, table).
+//! The cache only ever serves bit-identical [`SearchOutcome`]s (keyed by
+//! normalized mention + `top_k` over a deterministic backend), so results
+//! are independent of worker count and scheduling — the serve tests and
+//! `exp_serve` assert bit-identity between 1-worker and N-worker runs.
+
+use crate::error::ServiceError;
+use crate::metered::MeteredBackend;
+use crate::metrics::{percentile_us, ServiceMetrics};
+use crate::queue::{AdmissionPolicy, BoundedQueue, PushError};
+use crate::worker::{self, WorkerContext};
+use kglink_core::KgLink;
+use kglink_kg::KnowledgeGraph;
+use kglink_nn::Tokenizer;
+use kglink_search::{CacheConfig, CachingBackend, Deadline, KgBackend, MetricsSnapshot};
+use kglink_table::{LabelId, Table};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// The retrieval stack handed to the service: any [`KgBackend`] decorator
+/// chain behind an `Arc` ([`KgBackend`] is `Send + Sync` by contract).
+pub type SharedBackend = Arc<dyn KgBackend>;
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads. `0` is allowed and means admission-only: requests
+    /// queue but are never processed — useful for deterministic
+    /// backpressure tests. `Block` admission requires `workers > 0` to
+    /// ever make progress.
+    pub workers: usize,
+    /// Bounded queue capacity; beyond it the admission policy applies.
+    pub queue_capacity: usize,
+    /// Max tables a worker drains per wakeup (micro-batch size).
+    pub max_batch: usize,
+    /// What to do with new requests when the queue is full.
+    pub admission: AdmissionPolicy,
+    /// Deadline applied by [`AnnotationService::submit`] when the caller
+    /// does not pass one explicitly.
+    pub default_deadline: Deadline,
+    /// Shared retrieval LRU configuration; `None` disables caching.
+    pub cache: Option<CacheConfig>,
+    /// Modeled PLM cost per column, simulated microseconds. Together with
+    /// simulated retrieval latency this yields the per-worker busy-time
+    /// that scaling experiments measure.
+    pub sim_col_cost_us: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            queue_capacity: 64,
+            max_batch: 4,
+            admission: AdmissionPolicy::Block,
+            default_deadline: Deadline::UNBOUNDED,
+            cache: Some(CacheConfig::default()),
+            sim_col_cost_us: 2_000,
+        }
+    }
+}
+
+/// One completed annotation, with its service-level context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Annotation {
+    /// One predicted label per column of the submitted table.
+    pub labels: Vec<LabelId>,
+    /// Columns that fell back to the degraded no-linkage path.
+    pub degraded_columns: usize,
+    /// Cell retrievals that failed and were skipped.
+    pub failed_cells: usize,
+    /// Real microseconds the request spent queued before a worker took it.
+    pub queue_us: u64,
+    /// True when the deadline expired in the queue and the request was
+    /// served entirely through the degraded no-linkage path.
+    pub expired: bool,
+}
+
+/// Handle for one submitted request; redeem it with [`Ticket::wait`].
+pub struct Ticket {
+    id: u64,
+    rx: mpsc::Receiver<Result<Annotation, ServiceError>>,
+}
+
+impl Ticket {
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Block until the request completes. A disconnected channel means the
+    /// service shut down before the request was served.
+    pub fn wait(self) -> Result<Annotation, ServiceError> {
+        match self.rx.recv() {
+            Ok(result) => result,
+            Err(mpsc::RecvError) => Err(ServiceError::Closed),
+        }
+    }
+}
+
+/// A queued unit of work (crate-internal; callers only see [`Ticket`]s).
+pub(crate) struct Request {
+    pub table: Table,
+    pub deadline: Deadline,
+    pub enqueued: Instant,
+    pub reply: mpsc::Sender<Result<Annotation, ServiceError>>,
+}
+
+/// Counters shared between the submit path, the workers, and `metrics()`.
+pub(crate) struct Shared {
+    pub submitted: AtomicU64,
+    pub completed: AtomicU64,
+    pub rejected: AtomicU64,
+    pub shed: AtomicU64,
+    pub expired: AtomicU64,
+    pub annotated_columns: AtomicU64,
+    pub degraded_columns: AtomicU64,
+    pub failed_cells: AtomicU64,
+    pub in_flight: AtomicUsize,
+    pub latencies_us: Mutex<Vec<u64>>,
+    /// One slot per worker: simulated busy-time, µs.
+    pub sim_busy_us: Vec<AtomicU64>,
+}
+
+impl Shared {
+    fn new(workers: usize) -> Self {
+        Shared {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            annotated_columns: AtomicU64::new(0),
+            degraded_columns: AtomicU64::new(0),
+            failed_cells: AtomicU64::new(0),
+            in_flight: AtomicUsize::new(0),
+            latencies_us: Mutex::new(Vec::new()),
+            sim_busy_us: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
+/// Concurrent in-process annotation service over a trained [`KgLink`].
+pub struct AnnotationService {
+    queue: Arc<BoundedQueue<Request>>,
+    shared: Arc<Shared>,
+    meters: Vec<Arc<MeteredBackend>>,
+    cache: Option<Arc<CachingBackend<SharedBackend>>>,
+    admission: AdmissionPolicy,
+    default_deadline: Deadline,
+    next_id: AtomicU64,
+    started: Instant,
+    handles: Vec<JoinHandle<()>>,
+    closed: bool,
+}
+
+impl AnnotationService {
+    /// Spawn the worker pool. The `backend` is the caller's retrieval
+    /// stack (plain searcher, or `ResilientBackend`/`FaultyBackend`
+    /// decorators); when `config.cache` is set the service interposes a
+    /// shared [`CachingBackend`] in front of it, and every worker meters
+    /// its own traffic through that shared stack.
+    pub fn new(
+        model: Arc<KgLink>,
+        graph: Arc<KnowledgeGraph>,
+        backend: SharedBackend,
+        tokenizer: Arc<Tokenizer>,
+        config: ServiceConfig,
+    ) -> Self {
+        let cache = config
+            .cache
+            .clone()
+            .map(|c| Arc::new(CachingBackend::new(backend.clone(), c)));
+        let effective: SharedBackend = match &cache {
+            Some(c) => Arc::clone(c) as SharedBackend,
+            None => backend,
+        };
+        let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+        let shared = Arc::new(Shared::new(config.workers));
+        let mut meters = Vec::with_capacity(config.workers);
+        let mut handles = Vec::with_capacity(config.workers);
+        for idx in 0..config.workers {
+            let meter = Arc::new(MeteredBackend::new(effective.clone()));
+            meters.push(Arc::clone(&meter));
+            let ctx = WorkerContext {
+                idx,
+                model: Arc::clone(&model),
+                graph: Arc::clone(&graph),
+                tokenizer: Arc::clone(&tokenizer),
+                meter,
+                queue: Arc::clone(&queue),
+                shared: Arc::clone(&shared),
+                max_batch: config.max_batch.max(1),
+                sim_col_cost_us: config.sim_col_cost_us,
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("kglink-serve-{idx}"))
+                .spawn(move || worker::run(ctx))
+                .expect("failed to spawn worker thread");
+            handles.push(handle);
+        }
+        AnnotationService {
+            queue,
+            shared,
+            meters,
+            cache,
+            admission: config.admission,
+            default_deadline: config.default_deadline,
+            next_id: AtomicU64::new(0),
+            started: Instant::now(),
+            handles,
+            closed: false,
+        }
+    }
+
+    /// Submit one table under the configured default deadline.
+    pub fn submit(&self, table: Table) -> Result<Ticket, ServiceError> {
+        self.submit_with_deadline(table, self.default_deadline)
+    }
+
+    /// Submit one table with an explicit per-request deadline. The budget
+    /// covers queue wait *and* retrieval: time spent queued is subtracted
+    /// from what the pipeline may spend on KG queries, and a request whose
+    /// budget is gone before a worker picks it up completes through the
+    /// degraded no-linkage path (never an error, never a panic).
+    pub fn submit_with_deadline(
+        &self,
+        table: Table,
+        deadline: Deadline,
+    ) -> Result<Ticket, ServiceError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        let request = Request {
+            table,
+            deadline,
+            enqueued: Instant::now(),
+            reply: tx,
+        };
+        match self.queue.push(request, self.admission) {
+            Ok(None) => {
+                self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(Ticket { id, rx })
+            }
+            Ok(Some(victim)) => {
+                self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+                self.shared.shed.fetch_add(1, Ordering::Relaxed);
+                let _ = victim.reply.send(Err(ServiceError::Shed));
+                Ok(Ticket { id, rx })
+            }
+            Err(PushError::Rejected {
+                queue_depth,
+                capacity,
+            }) => {
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(ServiceError::Overloaded {
+                    queue_depth,
+                    capacity,
+                })
+            }
+            Err(PushError::Closed) => Err(ServiceError::Closed),
+        }
+    }
+
+    /// Submit many tables at once; tickets come back in submission order.
+    pub fn submit_batch(
+        &self,
+        tables: impl IntoIterator<Item = Table>,
+    ) -> Vec<Result<Ticket, ServiceError>> {
+        tables.into_iter().map(|t| self.submit(t)).collect()
+    }
+
+    /// Blocking convenience: submit and wait.
+    pub fn annotate(&self, table: Table) -> Result<Annotation, ServiceError> {
+        self.submit(table)?.wait()
+    }
+
+    /// Point-in-time service snapshot; see [`ServiceMetrics`].
+    pub fn metrics(&self) -> ServiceMetrics {
+        let retrieval = self
+            .meters
+            .iter()
+            .map(|m| m.snapshot())
+            .fold(MetricsSnapshot::default(), |acc, s| acc.merge(&s));
+        let latencies = self
+            .shared
+            .latencies_us
+            .lock()
+            .expect("latency lock poisoned")
+            .clone();
+        ServiceMetrics {
+            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            shed: self.shared.shed.load(Ordering::Relaxed),
+            expired: self.shared.expired.load(Ordering::Relaxed),
+            queue_depth: self.queue.depth(),
+            in_flight: self.shared.in_flight.load(Ordering::SeqCst),
+            annotated_columns: self.shared.annotated_columns.load(Ordering::Relaxed),
+            degraded_columns: self.shared.degraded_columns.load(Ordering::Relaxed),
+            failed_cells: self.shared.failed_cells.load(Ordering::Relaxed),
+            latency_p50_us: percentile_us(&latencies, 0.50),
+            latency_p99_us: percentile_us(&latencies, 0.99),
+            sim_busy_us: self
+                .shared
+                .sim_busy_us
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            uptime_us: self.started.elapsed().as_micros() as u64,
+            retrieval,
+            cache: self.cache.as_ref().map(|c| c.stats()),
+        }
+    }
+
+    /// Drain and stop: close the queue, fail still-queued requests with
+    /// [`ServiceError::Closed`], and join every worker. Idempotent; also
+    /// runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.closed {
+            return;
+        }
+        self.closed = true;
+        for leftover in self.queue.close() {
+            let _ = leftover.reply.send(Err(ServiceError::Closed));
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for AnnotationService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

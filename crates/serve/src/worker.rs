@@ -1,0 +1,119 @@
+//! The worker loop: drain a micro-batch, annotate each request, reply.
+//!
+//! Every worker owns a [`MeteredBackend`] shard over the shared (cached)
+//! retrieval stack, so per-worker retrieval metrics accumulate without
+//! cross-worker contention and fold together later via
+//! [`MetricsSnapshot::merge`](kglink_search::MetricsSnapshot::merge).
+//!
+//! Deadline handling happens here: a request's [`Deadline`] budget is
+//! measured against its *real* queue wait. A request that exhausted its
+//! budget while queued is not dropped — it is annotated through
+//! [`ExpiredBackend`], so every retrieval fails instantly and the pipeline
+//! produces a pure-PLM, no-linkage annotation with the correct arity.
+//! A request with budget left passes only the *remaining* budget into
+//! [`KgLink::annotate_outcome`], which tightens every KG query it issues.
+//!
+//! Simulated busy-time accounting: each table charges the worker the
+//! simulated retrieval microseconds it consumed (read off the meter)
+//! plus `sim_col_cost_us` per column for the PLM forward pass. The max
+//! over workers is the simulated makespan that scaling experiments
+//! assert on — deterministic, and independent of host core count.
+
+use crate::metered::{ExpiredBackend, MeteredBackend};
+use crate::queue::BoundedQueue;
+use crate::service::{Annotation, Request, Shared};
+use kglink_core::pipeline::Resources;
+use kglink_core::KgLink;
+use kglink_kg::KnowledgeGraph;
+use kglink_nn::Tokenizer;
+use kglink_search::Deadline;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Everything one worker thread needs, bundled for the spawn closure.
+pub(crate) struct WorkerContext {
+    pub idx: usize,
+    pub model: Arc<KgLink>,
+    pub graph: Arc<KnowledgeGraph>,
+    pub tokenizer: Arc<Tokenizer>,
+    pub meter: Arc<MeteredBackend>,
+    pub queue: Arc<BoundedQueue<Request>>,
+    pub shared: Arc<Shared>,
+    pub max_batch: usize,
+    pub sim_col_cost_us: u64,
+}
+
+pub(crate) fn run(ctx: WorkerContext) {
+    loop {
+        let batch = ctx.queue.pop_batch(ctx.max_batch);
+        if batch.is_empty() {
+            // Closed and drained: exit.
+            return;
+        }
+        for req in batch {
+            ctx.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+            let annotation = annotate_request(&ctx, &req);
+            let total_us = req.enqueued.elapsed().as_micros() as u64;
+            record_completion(&ctx, &annotation, total_us);
+            // The ticket may have been dropped; that's the caller's choice.
+            let _ = req.reply.send(Ok(annotation));
+            ctx.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+fn annotate_request(ctx: &WorkerContext, req: &Request) -> Annotation {
+    let wait_us = req.enqueued.elapsed().as_micros() as u64;
+    let budget = req.deadline.budget_us();
+    let expired = !req.deadline.is_unbounded() && wait_us >= budget;
+
+    let sim_before = ctx.meter.sim_latency_us();
+    let outcome = if expired {
+        // Out of budget: every retrieval fails instantly and the pipeline
+        // degrades to its no-linkage path. Arity is preserved; no panic.
+        let resources = Resources::new(&ctx.graph, &ExpiredBackend, &ctx.tokenizer);
+        ctx.model
+            .annotate_outcome(&resources, &req.table, Deadline::UNBOUNDED)
+    } else {
+        let remaining = if req.deadline.is_unbounded() {
+            Deadline::UNBOUNDED
+        } else {
+            Deadline::from_us(budget - wait_us)
+        };
+        let resources = Resources::new(&ctx.graph, ctx.meter.as_ref(), &ctx.tokenizer);
+        ctx.model.annotate_outcome(&resources, &req.table, remaining)
+    };
+    let sim_retrieval_us = ctx.meter.sim_latency_us() - sim_before;
+    let sim_cost_us = sim_retrieval_us + ctx.sim_col_cost_us * req.table.n_cols() as u64;
+    ctx.shared.sim_busy_us[ctx.idx].fetch_add(sim_cost_us, Ordering::Relaxed);
+
+    Annotation {
+        labels: outcome.labels,
+        degraded_columns: outcome.degraded_columns,
+        failed_cells: outcome.failed_cells,
+        queue_us: wait_us,
+        expired,
+    }
+}
+
+fn record_completion(ctx: &WorkerContext, annotation: &Annotation, total_us: u64) {
+    let shared = &ctx.shared;
+    shared.completed.fetch_add(1, Ordering::Relaxed);
+    if annotation.expired {
+        shared.expired.fetch_add(1, Ordering::Relaxed);
+    }
+    shared
+        .annotated_columns
+        .fetch_add(annotation.labels.len() as u64, Ordering::Relaxed);
+    shared
+        .degraded_columns
+        .fetch_add(annotation.degraded_columns as u64, Ordering::Relaxed);
+    shared
+        .failed_cells
+        .fetch_add(annotation.failed_cells as u64, Ordering::Relaxed);
+    shared
+        .latencies_us
+        .lock()
+        .expect("latency lock poisoned")
+        .push(total_us);
+}

@@ -13,4 +13,7 @@ cargo test -q
 echo "== cargo clippy --workspace --all-targets -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== exp_serve smoke (serving-layer identity + cache gate) =="
+KGLINK_FAST=1 cargo run --release -q -p kglink-bench --bin exp_serve -- --smoke
+
 echo "CI OK"

@@ -1,0 +1,275 @@
+//! Integration tests for the `kglink-serve` annotation service: worker
+//! pools must be bit-identical to single-threaded annotation, admission
+//! policies must fail requests with typed errors, expired deadlines must
+//! degrade (never panic), and the retrieval cache must be transparent.
+//!
+//! One trained fixture is shared across tests via `OnceLock` — training
+//! even the tiny model dominates test time, and every test here only
+//! *reads* the model.
+
+use kglink::core::pipeline::{build_vocab, KgLink, Resources};
+use kglink::core::{KgLinkConfig, Preprocessor};
+use kglink::datagen::{pretrain_corpus, semtab_like, SemTabConfig};
+use kglink::kg::{KnowledgeGraph, SyntheticWorld, WorldConfig};
+use kglink::nn::Tokenizer;
+use kglink::search::{
+    CacheConfig, CachingBackend, Deadline, EntitySearcher, FaultConfig, FaultyBackend,
+};
+use kglink::serve::{
+    AdmissionPolicy, AnnotationService, ServiceConfig, ServiceError, SharedBackend,
+};
+use kglink::table::{LabelId, Table};
+use std::sync::{Arc, OnceLock};
+
+struct Fixture {
+    model: Arc<KgLink>,
+    graph: Arc<KnowledgeGraph>,
+    tokenizer: Arc<Tokenizer>,
+    searcher: Arc<EntitySearcher>,
+    tables: Vec<Table>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let world = SyntheticWorld::generate(&WorldConfig::tiny(411));
+        let bench = semtab_like(&world, &SemTabConfig::tiny(411));
+        let searcher = EntitySearcher::build(&world.graph);
+        let corpus = pretrain_corpus(&world, 411);
+        let vocab = build_vocab(corpus.iter().map(String::as_str), &[&bench.dataset], 6000);
+        let tokenizer = Tokenizer::new(vocab);
+        let (model, _) = {
+            let resources = Resources::new(&world.graph, &searcher, &tokenizer);
+            KgLink::fit(
+                &resources,
+                &bench.dataset,
+                KgLinkConfig {
+                    epochs: 2,
+                    ..KgLinkConfig::fast_test()
+                },
+            )
+        };
+        Fixture {
+            model: Arc::new(model),
+            graph: Arc::new(world.graph.clone()),
+            tokenizer: Arc::new(tokenizer),
+            searcher: Arc::new(searcher),
+            tables: bench.dataset.tables.iter().take(8).cloned().collect(),
+        }
+    })
+}
+
+fn service(fx: &Fixture, config: ServiceConfig) -> AnnotationService {
+    let backend: SharedBackend = Arc::clone(&fx.searcher) as SharedBackend;
+    AnnotationService::new(
+        Arc::clone(&fx.model),
+        Arc::clone(&fx.graph),
+        backend,
+        Arc::clone(&fx.tokenizer),
+        config,
+    )
+}
+
+#[test]
+fn worker_pools_are_bit_identical_to_single_threaded_annotation() {
+    let fx = fixture();
+    let resources = Resources::new(&fx.graph, fx.searcher.as_ref(), &fx.tokenizer);
+    let baseline: Vec<Vec<LabelId>> = fx
+        .tables
+        .iter()
+        .map(|t| fx.model.annotate(&resources, t))
+        .collect();
+    for workers in [1, 3] {
+        let svc = service(
+            fx,
+            ServiceConfig {
+                workers,
+                max_batch: 2,
+                cache: Some(CacheConfig::default()),
+                ..ServiceConfig::default()
+            },
+        );
+        let tickets = svc.submit_batch(fx.tables.iter().cloned());
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            let annotation = ticket.expect("queue has room").wait().expect("service up");
+            assert_eq!(
+                annotation.labels, baseline[i],
+                "workers={workers}: table {i} diverged from single-threaded annotate"
+            );
+            assert!(!annotation.expired);
+        }
+        let m = svc.metrics();
+        assert_eq!(m.completed, fx.tables.len() as u64);
+        assert_eq!(m.submitted, fx.tables.len() as u64);
+    }
+}
+
+#[test]
+fn reject_policy_yields_typed_overload_error() {
+    let fx = fixture();
+    // workers = 0: admission-only mode — nothing drains the queue, so the
+    // overflow behavior is deterministic.
+    let svc = service(
+        fx,
+        ServiceConfig {
+            workers: 0,
+            queue_capacity: 2,
+            admission: AdmissionPolicy::Reject,
+            ..ServiceConfig::default()
+        },
+    );
+    let t1 = svc.submit(fx.tables[0].clone()).expect("slot 1");
+    let t2 = svc.submit(fx.tables[1].clone()).expect("slot 2");
+    match svc.submit(fx.tables[2].clone()) {
+        Err(ServiceError::Overloaded {
+            queue_depth,
+            capacity,
+        }) => {
+            assert_eq!(queue_depth, 2);
+            assert_eq!(capacity, 2);
+        }
+        other => panic!("expected Overloaded, got {:?}", other.map(|t| t.id())),
+    }
+    let m = svc.metrics();
+    assert_eq!(m.rejected, 1);
+    assert_eq!(m.queue_depth, 2);
+    // Shutdown fails the still-queued requests explicitly.
+    drop(svc);
+    assert_eq!(t1.wait(), Err(ServiceError::Closed));
+    assert_eq!(t2.wait(), Err(ServiceError::Closed));
+}
+
+#[test]
+fn shed_oldest_fails_the_oldest_ticket() {
+    let fx = fixture();
+    let svc = service(
+        fx,
+        ServiceConfig {
+            workers: 0,
+            queue_capacity: 1,
+            admission: AdmissionPolicy::ShedOldest,
+            ..ServiceConfig::default()
+        },
+    );
+    let oldest = svc.submit(fx.tables[0].clone()).expect("admitted");
+    let newest = svc.submit(fx.tables[1].clone()).expect("admitted by shedding");
+    assert_eq!(
+        oldest.wait(),
+        Err(ServiceError::Shed),
+        "the displaced request must learn it was shed"
+    );
+    let m = svc.metrics();
+    assert_eq!(m.shed, 1);
+    assert_eq!(m.submitted, 2);
+    assert_eq!(m.queue_depth, 1);
+    drop(svc);
+    assert_eq!(newest.wait(), Err(ServiceError::Closed));
+}
+
+#[test]
+fn expired_deadline_degrades_gracefully_instead_of_panicking() {
+    let fx = fixture();
+    let svc = service(
+        fx,
+        ServiceConfig {
+            workers: 1,
+            cache: None,
+            ..ServiceConfig::default()
+        },
+    );
+    let table = &fx.tables[0];
+    // A zero budget is already expired when the worker picks it up: the
+    // request must complete through the degraded no-linkage path.
+    let annotation = svc
+        .submit_with_deadline(table.clone(), Deadline::from_us(0))
+        .expect("admitted")
+        .wait()
+        .expect("expired requests complete, they do not error");
+    assert!(annotation.expired);
+    assert_eq!(annotation.labels.len(), table.n_cols());
+    assert!(annotation.failed_cells > 0, "every retrieval short-circuits");
+    // The degraded output equals annotating through an always-failing
+    // backend: the no-linkage path does not depend on *why* retrieval
+    // failed.
+    let dead = FaultyBackend::new(fx.searcher.as_ref(), FaultConfig::with_fault_rate(411, 1.0));
+    let dead_resources = Resources::new(&fx.graph, &dead, &fx.tokenizer);
+    assert_eq!(annotation.labels, fx.model.annotate(&dead_resources, table));
+    assert!(svc.metrics().expired >= 1);
+}
+
+#[test]
+fn repeated_tables_hit_the_cache_and_metrics_reconcile() {
+    let fx = fixture();
+    let svc = service(
+        fx,
+        ServiceConfig {
+            workers: 2,
+            max_batch: 2,
+            cache: Some(CacheConfig::default()),
+            ..ServiceConfig::default()
+        },
+    );
+    let workload: Vec<Table> = fx
+        .tables
+        .iter()
+        .chain(fx.tables.iter())
+        .cloned()
+        .collect();
+    let tickets = svc.submit_batch(workload.iter().cloned());
+    for ticket in tickets {
+        ticket.expect("admitted").wait().expect("completed");
+    }
+    let m = svc.metrics();
+    assert_eq!(m.completed, workload.len() as u64);
+    assert_eq!(m.queue_depth, 0);
+    assert_eq!(m.sim_busy_us.len(), 2);
+    assert!(m.latency_p99_us >= m.latency_p50_us);
+    assert!(m.retrieval.queries > 0, "workers meter their retrievals");
+    assert!(
+        m.cache_hit_rate() > 0.0,
+        "submitting every table twice must produce cache hits: {m}"
+    );
+    let cache = m.cache.expect("cache enabled");
+    assert_eq!(cache.hits + cache.misses, cache.lookups());
+}
+
+#[test]
+fn preprocessing_through_the_cache_is_deterministic() {
+    // Satellite check: training-time preprocessing routed through
+    // `CachingBackend` (cold, then fully warm) must produce exactly the
+    // KG evidence the direct searcher produces.
+    let fx = fixture();
+    let config = KgLinkConfig::fast_test();
+    let cached_backend = CachingBackend::new(fx.searcher.as_ref(), CacheConfig::default());
+    let pre_direct = Preprocessor::new(&fx.graph, fx.searcher.as_ref(), config.clone());
+    let pre_cached = Preprocessor::new(&fx.graph, &cached_backend, config.clone());
+    for pass in 0..2 {
+        for table in &fx.tables {
+            let direct = pre_direct.process(table);
+            let cached = pre_cached.process(table);
+            assert_eq!(direct.len(), cached.len());
+            for (d, c) in direct.iter().zip(&cached) {
+                assert_eq!(
+                    d.candidate_type_names, c.candidate_type_names,
+                    "pass {pass}: candidate types must not depend on cache state"
+                );
+                assert_eq!(d.feature_seqs, c.feature_seqs);
+                assert_eq!(d.has_linkage, c.has_linkage);
+            }
+        }
+    }
+    let stats = cached_backend.stats();
+    assert!(
+        stats.hits > 0,
+        "the second pass must be served from the cache: {stats:?}"
+    );
+    // And end-to-end: annotation over the warm cache equals direct.
+    let direct_res = Resources::new(&fx.graph, fx.searcher.as_ref(), &fx.tokenizer);
+    let cached_res = Resources::new(&fx.graph, &cached_backend, &fx.tokenizer);
+    for table in fx.tables.iter().take(3) {
+        assert_eq!(
+            fx.model.annotate(&cached_res, table),
+            fx.model.annotate(&direct_res, table)
+        );
+    }
+}
