@@ -114,7 +114,12 @@ mod tests {
         let corpus = pretrain_corpus(&world, 3);
         let vocab = build_vocab(corpus.iter().map(String::as_str), &[&bench.dataset], 6000);
         let tokenizer = kglink_nn::Tokenizer::new(vocab);
-        let resources = Resources::new(&world.graph, &searcher, &tokenizer);
+        let resources = Resources::builder()
+            .graph(&world.graph)
+            .backend(&searcher)
+            .tokenizer(&tokenizer)
+            .build()
+            .unwrap();
         let env = BenchEnv {
             resources: &resources,
             labels: &bench.dataset.labels,

@@ -93,7 +93,12 @@ mod tests {
         let searcher = EntitySearcher::build(&world.graph);
         let vocab = build_vocab([], &[&bench.dataset], 4000);
         let tokenizer = Tokenizer::new(vocab);
-        let resources = Resources::new(&world.graph, &searcher, &tokenizer);
+        let resources = Resources::builder()
+            .graph(&world.graph)
+            .backend(&searcher)
+            .tokenizer(&tokenizer)
+            .build()
+            .unwrap();
         let env = BenchEnv {
             resources: &resources,
             labels: &bench.dataset.labels,
@@ -137,7 +142,12 @@ mod tests {
         let searcher = EntitySearcher::build(&world.graph);
         let vocab = build_vocab([], &[&viznet.dataset], 4000);
         let tokenizer = Tokenizer::new(vocab);
-        let resources = Resources::new(&world.graph, &searcher, &tokenizer);
+        let resources = Resources::builder()
+            .graph(&world.graph)
+            .backend(&searcher)
+            .tokenizer(&tokenizer)
+            .build()
+            .unwrap();
         let env_v = BenchEnv {
             resources: &resources,
             labels: &viznet.dataset.labels,
@@ -169,7 +179,12 @@ mod tests {
         let searcher = EntitySearcher::build(&world.graph);
         let vocab = build_vocab([], &[&bench.dataset], 4000);
         let tokenizer = Tokenizer::new(vocab);
-        let resources = Resources::new(&world.graph, &searcher, &tokenizer);
+        let resources = Resources::builder()
+            .graph(&world.graph)
+            .backend(&searcher)
+            .tokenizer(&tokenizer)
+            .build()
+            .unwrap();
         let env = BenchEnv {
             resources: &resources,
             labels: &bench.dataset.labels,

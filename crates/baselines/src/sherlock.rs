@@ -182,7 +182,12 @@ mod tests {
         let searcher = EntitySearcher::build(&world.graph);
         let vocab = build_vocab([], &[&bench.dataset], 2000);
         let tokenizer = Tokenizer::new(vocab);
-        let resources = Resources::new(&world.graph, &searcher, &tokenizer);
+        let resources = Resources::builder()
+            .graph(&world.graph)
+            .backend(&searcher)
+            .tokenizer(&tokenizer)
+            .build()
+            .unwrap();
         let env = BenchEnv {
             resources: &resources,
             labels: &bench.dataset.labels,

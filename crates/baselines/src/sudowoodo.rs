@@ -305,7 +305,12 @@ mod tests {
         let searcher = EntitySearcher::build(&world.graph);
         let vocab = build_vocab([], &[&bench.dataset], 4000);
         let tokenizer = kglink_nn::Tokenizer::new(vocab);
-        let resources = Resources::new(&world.graph, &searcher, &tokenizer);
+        let resources = Resources::builder()
+            .graph(&world.graph)
+            .backend(&searcher)
+            .tokenizer(&tokenizer)
+            .build()
+            .unwrap();
         let env = BenchEnv {
             resources: &resources,
             labels: &bench.dataset.labels,

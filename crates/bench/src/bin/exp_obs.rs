@@ -1,0 +1,155 @@
+//! exp_obs: observability-layer experiment (not a paper table; exercises
+//! the tracing layer the other experiments report through).
+//!
+//! Trains KGLink once, then annotates the SemTab-like test split through
+//! an enabled [`Tracer`] and checks the layer's two contracts:
+//!
+//! 1. **The stage spans tile the pipeline.** The per-stage histograms
+//!    (`retrieval` / `filter` / `feature` from Part 1, `encode` /
+//!    `classify` from Part 2) must sum to the `annotate` root span's
+//!    total within 5% — no hidden untimed stage.
+//! 2. **A disabled tracer is free.** The per-call cost of the no-op
+//!    tracer, micro-measured in a tight loop, modeled over every tracer
+//!    touchpoint of the traced run, must stay under 1% of the untraced
+//!    run's wall time.
+//!
+//! The full event log is exported to `results/obs_trace.jsonl` (one JSON
+//! object per line: spans with ids/parents, counters, instants).
+//!
+//! `--smoke` shrinks the annotated subset; combine with `KGLINK_FAST=1`
+//! for the CI gate.
+
+use kglink_bench::{print_markdown, run_kglink, ExpEnv, Which};
+use kglink_core::req;
+use kglink_obs::{JsonlSink, Tracer};
+use kglink_table::Split;
+use std::time::Instant;
+
+/// The stages that must tile the `annotate` root span, in pipeline order.
+const STAGES: [&str; 5] = ["retrieval", "filter", "feature", "encode", "classify"];
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let env = ExpEnv::load();
+    let which = Which::SemTab;
+    let (_, _, model) = run_kglink(&env, which, env.kglink_config(which), "KGLink");
+    let dataset = &env.bench(which).dataset;
+    let tables: Vec<_> = dataset
+        .tables_in(Split::Test)
+        .take(if smoke { 6 } else { usize::MAX })
+        .collect();
+
+    // Untraced reference: the default resources carry the no-op tracer.
+    let untraced_resources = env.resources();
+    let t0 = Instant::now();
+    for t in &tables {
+        let outcome = model.annotate_request(&untraced_resources, req(t));
+        assert_eq!(outcome.labels.len(), t.n_cols());
+    }
+    let untraced_wall_us = t0.elapsed().as_micros() as u64;
+
+    // Traced run over the same workload.
+    let tracer = Tracer::enabled();
+    let resources = env.resources().with_tracer(&tracer);
+    let t1 = Instant::now();
+    for t in &tables {
+        model.annotate_request(&resources, req(t));
+    }
+    let traced_wall_us = t1.elapsed().as_micros() as u64;
+
+    let stages = tracer.stages();
+    let annotate = stages.get("annotate").expect("root span recorded");
+    assert_eq!(
+        annotate.count(),
+        tables.len() as u64,
+        "one root span per table"
+    );
+
+    let mut rows = Vec::new();
+    let mut stage_sum_us = 0u64;
+    for name in STAGES {
+        let h = stages
+            .get(name)
+            .unwrap_or_else(|| panic!("stage `{name}` never recorded"));
+        stage_sum_us += h.sum();
+        rows.push(vec![
+            name.to_string(),
+            h.count().to_string(),
+            format!("{:.2}", h.sum() as f64 / 1000.0),
+            format!("{:.1}", 100.0 * h.sum() as f64 / annotate.sum() as f64),
+            h.p50().to_string(),
+            h.p99().to_string(),
+        ]);
+    }
+    rows.push(vec![
+        "annotate (root)".into(),
+        annotate.count().to_string(),
+        format!("{:.2}", annotate.sum() as f64 / 1000.0),
+        "100.0".into(),
+        annotate.p50().to_string(),
+        annotate.p99().to_string(),
+    ]);
+    print_markdown(
+        "Observability — per-stage breakdown of traced annotation (SemTab-like test split)",
+        &["Stage", "Spans", "Total ms", "Share %", "p50 us", "p99 us"],
+        &rows,
+    );
+
+    // Contract 1: the stages tile the root span within 5%.
+    let gap = annotate.sum().abs_diff(stage_sum_us);
+    let gap_frac = gap as f64 / annotate.sum().max(1) as f64;
+    eprintln!(
+        "[obs] stage sum {:.2}ms vs annotate {:.2}ms (gap {:.2}%)",
+        stage_sum_us as f64 / 1000.0,
+        annotate.sum() as f64 / 1000.0,
+        100.0 * gap_frac
+    );
+    if gap_frac > 0.05 {
+        eprintln!(
+            "FAIL: stage spans leave {:.2}% of the annotate span unaccounted (>5%)",
+            100.0 * gap_frac
+        );
+        std::process::exit(1);
+    }
+
+    // Contract 2: the disabled tracer is free. Micro-measure the no-op
+    // span cost, then model it over every touchpoint the traced run made
+    // (events().len() over-counts calls — each span is one call but two
+    // events — so the model is conservative).
+    let disabled = Tracer::disabled();
+    let iters: u64 = 4_000_000;
+    let t2 = Instant::now();
+    for _ in 0..iters {
+        let s = std::hint::black_box(&disabled).span("probe");
+        std::hint::black_box(&s);
+    }
+    let ns_per_call = t2.elapsed().as_nanos() as f64 / iters as f64;
+    let touchpoints = tracer.events().len() as u64;
+    let modeled_overhead_us = touchpoints as f64 * ns_per_call / 1000.0;
+    let overhead_frac = modeled_overhead_us / untraced_wall_us.max(1) as f64;
+    eprintln!(
+        "[obs] disabled tracer: {ns_per_call:.1}ns/call × {touchpoints} touchpoints \
+         = {modeled_overhead_us:.0}us modeled vs {untraced_wall_us}us untraced wall \
+         ({:.4}%); traced wall {traced_wall_us}us",
+        100.0 * overhead_frac
+    );
+    if overhead_frac > 0.01 {
+        eprintln!(
+            "FAIL: modeled disabled-tracer overhead {:.3}% exceeds 1%",
+            100.0 * overhead_frac
+        );
+        std::process::exit(1);
+    }
+
+    // Export the event log for offline inspection.
+    std::fs::create_dir_all("results").expect("create results/");
+    let mut sink = JsonlSink::create("results/obs_trace.jsonl").expect("open results/obs_trace.jsonl");
+    let lines = sink.export(&tracer).expect("export event log");
+    eprintln!("[obs] wrote {lines} events to results/obs_trace.jsonl");
+
+    eprintln!(
+        "OK: stages tile the pipeline (gap {:.2}%), disabled tracer is free ({:.4}%)",
+        100.0 * gap_frac,
+        100.0 * overhead_frac
+    );
+}

@@ -4,7 +4,7 @@
 //! the VizNet-like benchmark and checks the serving layer's contract:
 //!
 //! 1. **Bit-identity** — every grid cell's annotations equal the
-//!    single-threaded `KgLink::annotate` baseline, label for label,
+//!    single-threaded `KgLink::annotate_request` baseline, label for label,
 //!    regardless of worker count, scheduling, or caching.
 //! 2. **Scaling** — simulated makespan (max per-worker busy-time, from
 //!    the repo's simulated-latency accounting) drops ≥2× from 1 to 4
@@ -86,11 +86,11 @@ fn main() {
         .cloned()
         .collect();
 
-    // Single-threaded reference: plain `annotate` over the raw searcher.
+    // Single-threaded reference: direct annotation over the raw searcher.
     let t0 = Instant::now();
     let baseline: Vec<Vec<LabelId>> = test_tables
         .iter()
-        .map(|t| model.annotate(&env.resources(), t))
+        .map(|t| model.annotate_request(&env.resources(), kglink_core::req(t)).labels)
         .collect();
     let seq_wall_s = t0.elapsed().as_secs_f64();
     eprintln!(
@@ -130,6 +130,7 @@ fn main() {
                     default_deadline: Deadline::UNBOUNDED,
                     cache: cache_on.then(CacheConfig::default),
                     sim_col_cost_us: 2_000,
+                    ..ServiceConfig::default()
                 },
             );
             let t0 = Instant::now();

@@ -75,7 +75,7 @@ fn main() {
             .iter()
             .map(|&i| {
                 let t = &dataset.tables[i];
-                let preds = model.annotate(&resources, t);
+                let preds = model.annotate_request(&resources, kglink_core::req(t)).labels;
                 let numeric: Vec<bool> = (0..t.n_cols()).map(|c| t.is_numeric_column(c)).collect();
                 (preds, t.labels.clone(), numeric)
             })

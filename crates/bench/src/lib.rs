@@ -184,7 +184,13 @@ impl ExpEnv {
     /// KGLink resources view over an arbitrary retrieval backend (fault
     /// injection, resilient decorators, …).
     pub fn resources_with<'a>(&'a self, backend: &'a (dyn KgBackend + 'a)) -> Resources<'a> {
-        Resources::new(&self.world.graph, backend, &self.tokenizer).with_pretrained(&self.pretrained)
+        Resources::builder()
+            .graph(&self.world.graph)
+            .backend(backend)
+            .tokenizer(&self.tokenizer)
+            .pretrained(&self.pretrained)
+            .build()
+            .expect("experiment env bundles a complete resource set")
     }
 
     /// Baseline environment view for a dataset.

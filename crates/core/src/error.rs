@@ -16,6 +16,9 @@ pub enum KgLinkError {
     DegenerateTable { table: TableId, reason: String },
     /// A configuration value outside its valid domain.
     InvalidConfig { reason: String },
+    /// A required resource (KG, retrieval backend, tokenizer) was not
+    /// supplied to [`ResourcesBuilder`](crate::pipeline::ResourcesBuilder).
+    MissingResource { what: &'static str },
     /// KG retrieval failed and no degraded path was applicable.
     Retrieval(RetrievalError),
 }
@@ -33,6 +36,10 @@ impl KgLinkError {
             reason: reason.into(),
         }
     }
+
+    pub fn missing_resource(what: &'static str) -> Self {
+        KgLinkError::MissingResource { what }
+    }
 }
 
 impl fmt::Display for KgLinkError {
@@ -42,6 +49,9 @@ impl fmt::Display for KgLinkError {
                 write!(f, "degenerate table {table:?}: {reason}")
             }
             KgLinkError::InvalidConfig { reason } => write!(f, "invalid config: {reason}"),
+            KgLinkError::MissingResource { what } => {
+                write!(f, "missing resource: no {what} was provided")
+            }
             KgLinkError::Retrieval(e) => write!(f, "retrieval failed: {e}"),
         }
     }

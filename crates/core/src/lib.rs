@@ -50,6 +50,8 @@ pub use config::{KgLinkConfig, RowFilter};
 pub use error::KgLinkError;
 pub use linking::{CellLink, LinkedTable};
 pub use model::KgLinkModel;
-pub use pipeline::{AnnotateOutcome, KgLink, TrainReport};
-pub use preprocess::{preprocess_table, ProcessedTable, Preprocessor};
+pub use pipeline::{
+    req, AnnotateOutcome, AnnotateRequest, KgLink, Resources, ResourcesBuilder, TrainReport,
+};
+pub use preprocess::{preprocess_table, preprocess_table_traced, ProcessedTable, Preprocessor};
 pub use stats::{DegradationStats, LinkStatistics, LinkageClass};

@@ -1,6 +1,7 @@
 //! The user-facing KGLink annotator API.
 
 use crate::config::KgLinkConfig;
+use crate::error::KgLinkError;
 use crate::model::KgLinkModel;
 use crate::preprocess::{Preprocessor, ProcessedTable};
 use crate::train::{self, prepare_tables};
@@ -9,6 +10,7 @@ use kglink_kg::KnowledgeGraph;
 use kglink_nn::layers::param::HasParams;
 use kglink_nn::serialize::load_params;
 use kglink_nn::{Tokenizer, Vocab};
+use kglink_obs::Tracer;
 use kglink_search::{Deadline, KgBackend};
 use kglink_table::{Dataset, EvalSummary, LabelId, LabelVocab, Split, Table};
 
@@ -16,6 +18,9 @@ use kglink_table::{Dataset, EvalSummary, LabelId, LabelVocab, Split, Table};
 /// over it (the in-process searcher, or any resilient/faulty decorator
 /// stack), the tokenizer, and (optionally) pre-trained MiniLM weights shared
 /// across the experiment grid.
+///
+/// Construct through [`Resources::builder`], which validates the bundle
+/// instead of allowing inconsistent states.
 pub struct Resources<'a> {
     pub graph: &'a KnowledgeGraph,
     pub backend: &'a (dyn KgBackend + 'a),
@@ -23,9 +28,23 @@ pub struct Resources<'a> {
     /// Serialized encoder weights from MLM pre-training (the BERT
     /// checkpoint stand-in). Loaded when the architecture matches.
     pub pretrained_encoder: Option<&'a [u8]>,
+    /// Observability sink every pipeline call threads through (stage spans,
+    /// degradation events). Disabled by default; requests can override it
+    /// per call with [`AnnotateRequest::trace`].
+    pub tracer: Tracer,
 }
 
 impl<'a> Resources<'a> {
+    /// Start a validating [`ResourcesBuilder`].
+    pub fn builder() -> ResourcesBuilder<'a> {
+        ResourcesBuilder::default()
+    }
+
+    #[deprecated(
+        note = "use `Resources::builder()`, which validates the bundle and \
+                reports `KgLinkError::MissingResource` instead of allowing \
+                inconsistent states"
+    )]
     pub fn new(
         graph: &'a KnowledgeGraph,
         backend: &'a (dyn KgBackend + 'a),
@@ -36,12 +55,89 @@ impl<'a> Resources<'a> {
             backend,
             tokenizer,
             pretrained_encoder: None,
+            tracer: Tracer::disabled(),
         }
     }
 
     pub fn with_pretrained(mut self, blob: &'a [u8]) -> Self {
         self.pretrained_encoder = Some(blob);
         self
+    }
+
+    /// Attach a tracer to every pipeline call made through this bundle.
+    pub fn with_tracer(mut self, tracer: &Tracer) -> Self {
+        self.tracer = tracer.clone();
+        self
+    }
+}
+
+/// Validating builder for [`Resources`]: [`build`](Self::build) fails with
+/// [`KgLinkError::MissingResource`] when the KG, backend, or tokenizer is
+/// absent, and with [`KgLinkError::InvalidConfig`] when the tokenizer's
+/// vocabulary is empty (an annotator over it could never see a token).
+#[derive(Default)]
+pub struct ResourcesBuilder<'a> {
+    graph: Option<&'a KnowledgeGraph>,
+    backend: Option<&'a (dyn KgBackend + 'a)>,
+    tokenizer: Option<&'a Tokenizer>,
+    pretrained_encoder: Option<&'a [u8]>,
+    tracer: Tracer,
+}
+
+impl<'a> ResourcesBuilder<'a> {
+    /// The knowledge graph candidates and feature sequences come from.
+    pub fn graph(mut self, graph: &'a KnowledgeGraph) -> Self {
+        self.graph = Some(graph);
+        self
+    }
+
+    /// The retrieval backend (searcher or any decorator stack over it).
+    pub fn backend(mut self, backend: &'a (dyn KgBackend + 'a)) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// The tokenizer shared by serialization and the PLM.
+    pub fn tokenizer(mut self, tokenizer: &'a Tokenizer) -> Self {
+        self.tokenizer = Some(tokenizer);
+        self
+    }
+
+    /// Serialized encoder weights from MLM pre-training.
+    pub fn pretrained(mut self, blob: &'a [u8]) -> Self {
+        self.pretrained_encoder = Some(blob);
+        self
+    }
+
+    /// Observability sink for every pipeline call (default: disabled).
+    pub fn tracer(mut self, tracer: &Tracer) -> Self {
+        self.tracer = tracer.clone();
+        self
+    }
+
+    /// Validate and assemble the bundle.
+    pub fn build(self) -> Result<Resources<'a>, KgLinkError> {
+        let graph = self
+            .graph
+            .ok_or(KgLinkError::missing_resource("knowledge graph"))?;
+        let backend = self
+            .backend
+            .ok_or(KgLinkError::missing_resource("retrieval backend"))?;
+        let tokenizer = self
+            .tokenizer
+            .ok_or(KgLinkError::missing_resource("tokenizer"))?;
+        if tokenizer.vocab.is_empty() {
+            return Err(KgLinkError::invalid_config(
+                "tokenizer vocabulary is empty",
+            ));
+        }
+        Ok(Resources {
+            graph,
+            backend,
+            tokenizer,
+            pretrained_encoder: self.pretrained_encoder,
+            tracer: self.tracer,
+        })
     }
 }
 
@@ -82,6 +178,66 @@ pub struct AnnotateOutcome {
     pub failed_cells: usize,
 }
 
+impl AnnotateOutcome {
+    /// Resolve the predicted labels to their names.
+    pub fn names(&self, labels: &LabelVocab) -> Vec<String> {
+        self.labels
+            .iter()
+            .map(|&l| labels.name(l).to_string())
+            .collect()
+    }
+}
+
+/// One annotation request: the table plus per-call options. This is the
+/// single entry point every `annotate*` wrapper routes through, so
+/// degradation accounting and metrics are identical no matter how the call
+/// is spelled.
+///
+/// ```ignore
+/// let outcome = kglink.annotate_request(&resources, req(&table).deadline(d).trace(&tracer));
+/// ```
+#[derive(Clone, Copy)]
+pub struct AnnotateRequest<'r> {
+    table: &'r Table,
+    deadline: Deadline,
+    tracer: Option<&'r Tracer>,
+}
+
+/// Shorthand constructor for an [`AnnotateRequest`].
+pub fn req(table: &Table) -> AnnotateRequest<'_> {
+    AnnotateRequest::new(table)
+}
+
+impl<'r> AnnotateRequest<'r> {
+    /// A request with an unbounded deadline and the resources' tracer.
+    pub fn new(table: &'r Table) -> Self {
+        AnnotateRequest {
+            table,
+            deadline: Deadline::UNBOUNDED,
+            tracer: None,
+        }
+    }
+
+    /// Per-request retrieval budget: tightens the configured
+    /// `retrieval_deadline_us` for every KG query this annotation issues.
+    pub fn deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Trace this request through `tracer`, overriding the tracer carried
+    /// by the [`Resources`] bundle.
+    pub fn trace(mut self, tracer: &'r Tracer) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// The table to annotate.
+    pub fn table(&self) -> &'r Table {
+        self.table
+    }
+}
+
 /// A trained KGLink annotator.
 pub struct KgLink {
     pub config: KgLinkConfig,
@@ -93,15 +249,20 @@ impl KgLink {
     /// Train KGLink on a dataset's train split, early-stopping on its
     /// validation split. Returns the annotator and the training trace.
     pub fn fit(resources: &Resources<'_>, dataset: &Dataset, config: KgLinkConfig) -> (Self, TrainReport) {
-        let pre = Preprocessor::new(resources.graph, resources.backend, config.clone());
+        let tracer = &resources.tracer;
+        let _fit = tracer.span("fit");
+        let pre = Preprocessor::new(resources.graph, resources.backend, config.clone())
+            .with_tracer(tracer);
         let process = |split: Split| -> Vec<ProcessedTable> {
             dataset
                 .tables_in(split)
                 .flat_map(|t| pre.process(t))
                 .collect()
         };
-        let train_pt = process(Split::Train);
-        let val_pt = process(Split::Validation);
+        let (train_pt, val_pt) = {
+            let _preprocess = tracer.span("fit.preprocess");
+            (process(Split::Train), process(Split::Validation))
+        };
         Self::fit_processed(resources, &train_pt, &val_pt, &dataset.labels, config)
     }
 
@@ -115,14 +276,23 @@ impl KgLink {
         config: KgLinkConfig,
     ) -> (Self, TrainReport) {
         let tokenizer = resources.tokenizer;
-        let train_prep = prepare_tables(train_pt, tokenizer, labels, &config, true);
-        let val_prep = prepare_tables(val_pt, tokenizer, labels, &config, false);
+        let tracer = &resources.tracer;
+        let (train_prep, val_prep) = {
+            let _prepare = tracer.span("fit.prepare");
+            (
+                prepare_tables(train_pt, tokenizer, labels, &config, true),
+                prepare_tables(val_pt, tokenizer, labels, &config, false),
+            )
+        };
         let mut model = KgLinkModel::new(&config, tokenizer.vocab.len(), labels.len());
         if let Some(blob) = resources.pretrained_encoder {
             // Best effort: only a matching architecture can load.
             let _ = load_params(&mut model.encoder, blob);
         }
-        let report = train::train(&mut model, &config, &train_prep, &val_prep);
+        let report = {
+            let _train = tracer.span("fit.train");
+            train::train(&mut model, &config, &train_prep, &val_prep)
+        };
         (
             KgLink {
                 config,
@@ -133,52 +303,49 @@ impl KgLink {
         )
     }
 
-    /// Annotate one raw table: runs Part 1 and Part 2 end to end and
-    /// returns one label per column.
-    pub fn annotate(&self, resources: &Resources<'_>, table: &Table) -> Vec<LabelId> {
-        self.annotate_outcome(resources, table, Deadline::UNBOUNDED)
-            .labels
-    }
-
-    /// [`annotate`](Self::annotate) under a per-request retrieval budget:
-    /// `deadline` tightens the configured `retrieval_deadline_us` for every
-    /// KG query this annotation issues. Queries past the budget fail and
-    /// degrade their column to the no-linkage path — the output arity never
-    /// changes.
-    pub fn annotate_with_deadline(
+    /// The single annotation entry point: labels plus degradation
+    /// accounting, under the request's retrieval deadline and tracer. Every
+    /// `annotate*` wrapper routes through here, and this is what the
+    /// serving layer (`kglink-serve`) calls per request.
+    ///
+    /// Stage spans: the whole call runs under an `annotate` span;
+    /// preprocessing contributes `retrieval` / `filter` / `feature`, and
+    /// Part 2 contributes `encode` (serialization + tokenization) and
+    /// `classify` (the forward pass) per chunk.
+    pub fn annotate_request(
         &self,
         resources: &Resources<'_>,
-        table: &Table,
-        deadline: Deadline,
-    ) -> Vec<LabelId> {
-        self.annotate_outcome(resources, table, deadline).labels
-    }
-
-    /// The full annotation entry point: labels plus degradation accounting,
-    /// under a per-request retrieval deadline. This is what the serving
-    /// layer (`kglink-serve`) calls per request.
-    pub fn annotate_outcome(
-        &self,
-        resources: &Resources<'_>,
-        table: &Table,
-        deadline: Deadline,
+        request: AnnotateRequest<'_>,
     ) -> AnnotateOutcome {
+        let tracer = request
+            .tracer
+            .cloned()
+            .unwrap_or_else(|| resources.tracer.clone());
+        let _annotate = tracer.span("annotate");
+        let table = request.table;
         let mut config = self.config.clone();
-        config.retrieval_deadline_us = config.retrieval_deadline_us.min(deadline.budget_us());
-        let pre = Preprocessor::new(resources.graph, resources.backend, config.clone());
+        config.retrieval_deadline_us = config
+            .retrieval_deadline_us
+            .min(request.deadline.budget_us());
+        let pre = Preprocessor::new(resources.graph, resources.backend, config.clone())
+            .with_tracer(&tracer);
         let mut labels = Vec::with_capacity(table.n_cols());
         let mut degraded_columns = 0;
         let mut failed_cells = 0;
         for pt in pre.process(table) {
             degraded_columns += pt.degraded_columns();
             failed_cells += pt.failed_cells;
-            let prep = prepare_tables(
-                std::slice::from_ref(&pt),
-                resources.tokenizer,
-                &self.labels,
-                &config,
-                false,
-            );
+            let prep = {
+                let _encode = tracer.span("encode");
+                prepare_tables(
+                    std::slice::from_ref(&pt),
+                    resources.tokenizer,
+                    &self.labels,
+                    &config,
+                    false,
+                )
+            };
+            let _classify = tracer.span("classify");
             labels.extend(train::predict_table(&self.model, &config, &prep[0]));
         }
         // Degenerate or skipped chunks must not change the output arity:
@@ -191,12 +358,48 @@ impl KgLink {
         }
     }
 
+    /// Annotate one raw table: runs Part 1 and Part 2 end to end and
+    /// returns one label per column.
+    #[deprecated(note = "use `annotate_request(resources, req(table))`")]
+    pub fn annotate(&self, resources: &Resources<'_>, table: &Table) -> Vec<LabelId> {
+        self.annotate_request(resources, AnnotateRequest::new(table))
+            .labels
+    }
+
+    /// Annotate under a per-request retrieval budget: `deadline` tightens
+    /// the configured `retrieval_deadline_us` for every KG query this
+    /// annotation issues. Queries past the budget fail and degrade their
+    /// column to the no-linkage path — the output arity never changes.
+    #[deprecated(note = "use `annotate_request(resources, req(table).deadline(deadline))`")]
+    pub fn annotate_with_deadline(
+        &self,
+        resources: &Resources<'_>,
+        table: &Table,
+        deadline: Deadline,
+    ) -> Vec<LabelId> {
+        self.annotate_request(resources, AnnotateRequest::new(table).deadline(deadline))
+            .labels
+    }
+
+    /// Labels plus degradation accounting under a retrieval deadline.
+    #[deprecated(note = "use `annotate_request(resources, req(table).deadline(deadline))`")]
+    pub fn annotate_outcome(
+        &self,
+        resources: &Resources<'_>,
+        table: &Table,
+        deadline: Deadline,
+    ) -> AnnotateOutcome {
+        self.annotate_request(resources, AnnotateRequest::new(table).deadline(deadline))
+    }
+
     /// Annotate one raw table, returning label names.
+    #[deprecated(
+        note = "use `annotate_request(resources, req(table))` and resolve names \
+                with `AnnotateOutcome::names`"
+    )]
     pub fn annotate_names(&self, resources: &Resources<'_>, table: &Table) -> Vec<String> {
-        self.annotate(resources, table)
-            .into_iter()
-            .map(|l| self.labels.name(l).to_string())
-            .collect()
+        self.annotate_request(resources, AnnotateRequest::new(table))
+            .names(&self.labels)
     }
 
     /// Evaluate on preprocessed tables.
@@ -216,7 +419,8 @@ impl KgLink {
         dataset: &Dataset,
         split: Split,
     ) -> EvalSummary {
-        let pre = Preprocessor::new(resources.graph, resources.backend, self.config.clone());
+        let pre = Preprocessor::new(resources.graph, resources.backend, self.config.clone())
+            .with_tracer(&resources.tracer);
         let tables: Vec<ProcessedTable> = dataset
             .tables_in(split)
             .flat_map(|t| pre.process(t))
@@ -262,7 +466,12 @@ mod tests {
             6000,
         );
         let tokenizer = Tokenizer::new(vocab);
-        let resources = Resources::new(&world.graph, &searcher, &tokenizer);
+        let resources = Resources::builder()
+            .graph(&world.graph)
+            .backend(&searcher)
+            .tokenizer(&tokenizer)
+            .build()
+            .expect("complete resource bundle");
         let config = KgLinkConfig {
             epochs: 10,
             patience: 0,
@@ -279,8 +488,71 @@ mod tests {
         );
         // Annotate a raw test table.
         let t = bench.dataset.tables_in(Split::Test).next().unwrap();
-        let names = kglink.annotate_names(&resources, t);
+        let names = kglink
+            .annotate_request(&resources, req(t))
+            .names(&kglink.labels);
         assert_eq!(names.len(), t.n_cols());
+    }
+
+    #[test]
+    fn resources_builder_validates_the_bundle() {
+        let world = SyntheticWorld::generate(&WorldConfig::tiny(80));
+        let searcher = EntitySearcher::build(&world.graph);
+        let tokenizer = Tokenizer::new(Vocab::build(["hello world"], 1, 100));
+
+        match Resources::builder().backend(&searcher).tokenizer(&tokenizer).build() {
+            Err(KgLinkError::MissingResource { what }) => assert_eq!(what, "knowledge graph"),
+            other => panic!("expected MissingResource, got {:?}", other.is_ok()),
+        }
+        match Resources::builder().graph(&world.graph).tokenizer(&tokenizer).build() {
+            Err(KgLinkError::MissingResource { what }) => assert_eq!(what, "retrieval backend"),
+            other => panic!("expected MissingResource, got {:?}", other.is_ok()),
+        }
+        match Resources::builder().graph(&world.graph).backend(&searcher).build() {
+            Err(KgLinkError::MissingResource { what }) => assert_eq!(what, "tokenizer"),
+            other => panic!("expected MissingResource, got {:?}", other.is_ok()),
+        }
+        let empty_tok = Tokenizer::new(Vocab::build(std::iter::empty::<&str>(), 1, 100));
+        if !empty_tok.vocab.is_empty() {
+            // Special tokens may keep the vocab non-empty; skip the check.
+            return;
+        }
+        assert!(matches!(
+            Resources::builder()
+                .graph(&world.graph)
+                .backend(&searcher)
+                .tokenizer(&empty_tok)
+                .build(),
+            Err(KgLinkError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_delegate_to_annotate_request() {
+        let world = SyntheticWorld::generate(&WorldConfig::tiny(81));
+        let bench = semtab_like(&world, &SemTabConfig::tiny(81));
+        let searcher = EntitySearcher::build(&world.graph);
+        let corpus = pretrain_corpus(&world, 2);
+        let vocab = build_vocab(corpus.iter().map(String::as_str), &[&bench.dataset], 6000);
+        let tokenizer = Tokenizer::new(vocab);
+        let resources = Resources::new(&world.graph, &searcher, &tokenizer);
+        let (kglink, _) = KgLink::fit(&resources, &bench.dataset, KgLinkConfig::fast_test());
+        let t = bench.dataset.tables_in(Split::Test).next().unwrap();
+        let canonical = kglink.annotate_request(&resources, req(t));
+        assert_eq!(kglink.annotate(&resources, t), canonical.labels);
+        assert_eq!(
+            kglink.annotate_with_deadline(&resources, t, Deadline::UNBOUNDED),
+            canonical.labels
+        );
+        assert_eq!(
+            kglink.annotate_outcome(&resources, t, Deadline::UNBOUNDED),
+            canonical
+        );
+        assert_eq!(
+            kglink.annotate_names(&resources, t),
+            canonical.names(&kglink.labels)
+        );
     }
 
     #[test]
@@ -293,14 +565,22 @@ mod tests {
         let corpus = pretrain_corpus(&world, 2);
         let vocab = build_vocab(corpus.iter().map(String::as_str), &[&bench.dataset], 6000);
         let tokenizer = Tokenizer::new(vocab);
-        let resources = Resources::new(&world.graph, &searcher, &tokenizer);
+        let resources = Resources::builder()
+            .graph(&world.graph)
+            .backend(&searcher)
+            .tokenizer(&tokenizer)
+            .build()
+            .expect("complete resource bundle");
         let (kglink, _) = KgLink::fit(&resources, &bench.dataset, KgLinkConfig::fast_test());
         let t = bench.dataset.tables_in(Split::Test).next().unwrap();
 
         // Unbounded deadline over a healthy backend: nothing degrades, and
-        // the outcome's labels are exactly what `annotate` returns.
-        let clean = kglink.annotate_outcome(&resources, t, Deadline::UNBOUNDED);
-        assert_eq!(clean.labels, kglink.annotate(&resources, t));
+        // the default request deadline is unbounded.
+        let clean = kglink.annotate_request(&resources, req(t).deadline(Deadline::UNBOUNDED));
+        assert_eq!(
+            clean.labels,
+            kglink.annotate_request(&resources, req(t)).labels
+        );
         assert_eq!(clean.labels.len(), t.n_cols());
         assert_eq!(clean.degraded_columns, 0);
         assert_eq!(clean.failed_cells, 0);
@@ -308,14 +588,20 @@ mod tests {
         // A zero budget over a latency-injecting backend times out every
         // retrieval: the outcome keeps its arity and reports degradation.
         let slow = FaultyBackend::new(&searcher, FaultConfig::healthy(79));
-        let slow_resources = Resources::new(&world.graph, &slow, &tokenizer);
-        let expired = kglink.annotate_outcome(&slow_resources, t, Deadline::from_us(0));
+        let slow_resources = Resources::builder()
+            .graph(&world.graph)
+            .backend(&slow)
+            .tokenizer(&tokenizer)
+            .build()
+            .expect("complete resource bundle");
+        let expired =
+            kglink.annotate_request(&slow_resources, req(t).deadline(Deadline::from_us(0)));
         assert_eq!(expired.labels.len(), t.n_cols());
         assert!(expired.failed_cells > 0, "every retrieval must time out");
         assert!(expired.degraded_columns > 0);
         assert_eq!(
-            expired.labels,
-            kglink.annotate_with_deadline(&slow_resources, t, Deadline::from_us(0)),
+            expired,
+            kglink.annotate_request(&slow_resources, req(t).deadline(Deadline::from_us(0))),
             "degraded annotation is deterministic"
         );
     }

@@ -13,6 +13,7 @@ use crate::feature::feature_sequences;
 use crate::filter::prune_and_filter;
 use crate::linking::LinkedTable;
 use kglink_kg::KnowledgeGraph;
+use kglink_obs::Tracer;
 use kglink_search::{Deadline, KgBackend};
 use kglink_table::table::NumericStats;
 use kglink_table::{LabelId, Table};
@@ -61,6 +62,9 @@ pub struct Preprocessor<'a> {
     pub graph: &'a KnowledgeGraph,
     pub backend: &'a (dyn KgBackend + 'a),
     pub config: KgLinkConfig,
+    /// Observability sink for the `retrieval` / `filter` / `feature` stage
+    /// spans and `degrade.column` events; disabled by default.
+    pub tracer: Tracer,
 }
 
 impl<'a> Preprocessor<'a> {
@@ -73,7 +77,14 @@ impl<'a> Preprocessor<'a> {
             graph,
             backend,
             config,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach a tracer to every table this preprocessor handles.
+    pub fn with_tracer(mut self, tracer: &Tracer) -> Self {
+        self.tracer = tracer.clone();
+        self
     }
 
     /// Process one table. Tables wider than `max_columns` are split into
@@ -100,7 +111,9 @@ impl<'a> Preprocessor<'a> {
         Ok(table
             .split_columns(self.config.max_columns)
             .into_iter()
-            .map(|chunk| preprocess_table(&chunk, self.graph, self.backend, &self.config))
+            .map(|chunk| {
+                preprocess_table_traced(&chunk, self.graph, self.backend, &self.config, &self.tracer)
+            })
             .collect())
     }
 }
@@ -116,22 +129,55 @@ pub fn preprocess_table(
     backend: &dyn KgBackend,
     config: &KgLinkConfig,
 ) -> ProcessedTable {
+    preprocess_table_traced(table, graph, backend, config, &Tracer::disabled())
+}
+
+/// [`preprocess_table`] with stage spans: `retrieval` covers linking and
+/// degradation, `filter` the row filter, `feature` candidate types, feature
+/// sequences, and assembly. Every degraded column emits a `degrade.column`
+/// event while the `retrieval` span is open, so event order is causal.
+pub fn preprocess_table_traced(
+    table: &Table,
+    graph: &KnowledgeGraph,
+    backend: &dyn KgBackend,
+    config: &KgLinkConfig,
+    tracer: &Tracer,
+) -> ProcessedTable {
     let deadline = Deadline::from_us(config.retrieval_deadline_us);
-    let mut linked =
-        LinkedTable::link_with_deadline(table, backend, config.max_entities_per_mention, deadline);
-    let failed_cells = linked.failed_cells();
-    let degraded: Vec<bool> = (0..table.n_cols())
-        .map(|c| linked.column_failed(c))
-        .collect();
-    for (c, &was_degraded) in degraded.iter().enumerate() {
-        if was_degraded {
-            // Full-column degradation: a partially linked column would make
-            // results depend on *which* cells happened to fail; clearing all
-            // candidates reproduces the deterministic no-linkage path.
-            linked.degrade_column(c);
+    let (linked, failed_cells, degraded) = {
+        let _retrieval = tracer.span("retrieval");
+        let mut linked = LinkedTable::link_with_deadline(
+            table,
+            backend,
+            config.max_entities_per_mention,
+            deadline,
+        );
+        let failed_cells = linked.failed_cells();
+        let degraded: Vec<bool> = (0..table.n_cols())
+            .map(|c| linked.column_failed(c))
+            .collect();
+        for (c, &was_degraded) in degraded.iter().enumerate() {
+            if was_degraded {
+                // Full-column degradation: a partially linked column would make
+                // results depend on *which* cells happened to fail; clearing all
+                // candidates reproduces the deterministic no-linkage path.
+                linked.degrade_column(c);
+                tracer.event_with(
+                    "degrade.column",
+                    vec![
+                        ("table", table.id.0.to_string()),
+                        ("column", c.to_string()),
+                    ],
+                );
+            }
         }
-    }
-    let filtered = prune_and_filter(table, &linked, graph, config.top_k_rows, config.row_filter);
+        (linked, failed_cells, degraded)
+    };
+    let filtered = {
+        let _filter = tracer.span("filter");
+        prune_and_filter(table, &linked, graph, config.top_k_rows, config.row_filter)
+    };
+    let _feature = tracer.span("feature");
     let cts = candidate_types(&filtered, graph, config.max_candidate_types);
     let feats = feature_sequences(&filtered, graph);
     let n_cols = filtered.table.n_cols();

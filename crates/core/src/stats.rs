@@ -139,8 +139,8 @@ impl DegradationStats {
         self.retries = m.retries;
         self.breaker_trips = m.breaker_trips;
         self.breaker_rejections = m.breaker_rejections;
-        self.retrieval_p50_us = m.latency_p50_us;
-        self.retrieval_p99_us = m.latency_p99_us;
+        self.retrieval_p50_us = m.latency_p50_us();
+        self.retrieval_p99_us = m.latency_p99_us();
         self
     }
 

@@ -1,0 +1,109 @@
+//! Property tests for the workspace's single histogram implementation:
+//! merge laws (commutative, associative, identity) and quantile error
+//! bounds against a sorted-vec reference model.
+
+use kglink_obs::hist::SUB;
+use kglink_obs::Histogram;
+use proptest::prelude::*;
+
+fn hist_of(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// Nearest-rank reference quantile (the convention the repo's hand-rolled
+/// percentile implementations used before they were unified here).
+fn reference_quantile(values: &[u64], q: f64) -> u64 {
+    if values.is_empty() {
+        return 0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_commutative(
+        a in proptest::collection::vec(0u64..5_000_000, 0..60),
+        b in proptest::collection::vec(0u64..5_000_000, 0..60),
+    ) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        prop_assert_eq!(ha.merge(&hb), hb.merge(&ha));
+    }
+
+    #[test]
+    fn merge_is_associative_with_identity(
+        a in proptest::collection::vec(0u64..5_000_000, 0..40),
+        b in proptest::collection::vec(0u64..5_000_000, 0..40),
+        c in proptest::collection::vec(0u64..5_000_000, 0..40),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        prop_assert_eq!(ha.merge(&hb).merge(&hc), ha.merge(&hb.merge(&hc)));
+        prop_assert_eq!(ha.merge(&Histogram::new()), ha.clone());
+        prop_assert_eq!(Histogram::new().merge(&ha), ha);
+    }
+
+    #[test]
+    fn merge_equals_recording_the_concatenation(
+        a in proptest::collection::vec(0u64..5_000_000, 0..60),
+        b in proptest::collection::vec(0u64..5_000_000, 0..60),
+    ) {
+        let merged = hist_of(&a).merge(&hist_of(&b));
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        prop_assert_eq!(merged, hist_of(&all));
+    }
+
+    #[test]
+    fn quantiles_stay_within_one_bucket_of_the_reference(
+        values in proptest::collection::vec(0u64..50_000_000, 1..120),
+        q in 0.0f64..1.0,
+    ) {
+        let h = hist_of(&values);
+        let approx = h.quantile(q);
+        let exact = reference_quantile(&values, q);
+        // Log-linear buckets bound the relative error by 1/SUB; exact
+        // values below SUB carry no error at all.
+        let err = (approx as f64 - exact as f64).abs();
+        prop_assert!(
+            err <= exact as f64 / SUB as f64 + 1e-9,
+            "q={}: approx {} vs exact {} (err {})", q, approx, exact, err
+        );
+        // And quantiles never escape the observed range.
+        prop_assert!(approx >= h.min() && approx <= h.max());
+    }
+
+    #[test]
+    fn count_sum_min_max_match_the_reference(
+        values in proptest::collection::vec(0u64..10_000_000, 1..100),
+    ) {
+        let h = hist_of(&values);
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.sum(), values.iter().sum::<u64>());
+        prop_assert_eq!(h.min(), *values.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+        prop_assert_eq!(h.quantile(0.0), h.min());
+        prop_assert_eq!(h.quantile(1.0), h.max());
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q(
+        values in proptest::collection::vec(0u64..1_000_000, 1..80),
+    ) {
+        let h = hist_of(&values);
+        let mut last = 0u64;
+        for i in 0..=20u32 {
+            let q = f64::from(i) / 20.0;
+            let v = h.quantile(q);
+            prop_assert!(v >= last, "quantile not monotone at q={}", q);
+            last = v;
+        }
+    }
+}

@@ -23,6 +23,7 @@
 use crate::backend::{Deadline, KgBackend, RetrievalError, SearchOutcome};
 use crate::tokenize::tokenize;
 use kglink_kg::EntityId;
+use kglink_obs::Tracer;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -268,6 +269,7 @@ pub struct CachingBackend<B> {
     insertions: AtomicU64,
     evictions: AtomicU64,
     capacity: usize,
+    tracer: Tracer,
 }
 
 impl<B: KgBackend> CachingBackend<B> {
@@ -282,7 +284,15 @@ impl<B: KgBackend> CachingBackend<B> {
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             capacity: per_shard * shards,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach a tracer: every lookup increments the `cache.hit` or
+    /// `cache.miss` counter (and emits the matching event).
+    pub fn with_tracer(mut self, tracer: &Tracer) -> Self {
+        self.tracer = tracer.clone();
+        self
     }
 
     pub fn inner(&self) -> &B {
@@ -320,6 +330,7 @@ impl<B: KgBackend> KgBackend for CachingBackend<B> {
         let shard = self.shard_for(&key);
         if let Some(entry) = shard.lock().unwrap().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.tracer.incr("cache.hit", 1);
             return Ok(SearchOutcome {
                 hits: entry.hits.clone(),
                 latency_us: 0,
@@ -327,6 +338,7 @@ impl<B: KgBackend> KgBackend for CachingBackend<B> {
             });
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.tracer.incr("cache.miss", 1);
         // The shard lock is *not* held across the inner call: a slow or
         // faulty backend must not serialize unrelated lookups. Two workers
         // racing on the same fresh key both miss; the second insert is a

@@ -34,8 +34,8 @@ pub use bm25::Bm25Params;
 pub use cache::{normalize_mention, CacheConfig, CacheStats, CachingBackend, Lru};
 pub use index::{DocId, InvertedIndex, SearchHit};
 pub use resilience::{
-    backoff_delay_us, BreakerConfig, BreakerState, CircuitBreaker, FaultConfig, FaultyBackend,
-    MetricsSnapshot, ResilienceConfig, ResilientBackend,
+    backoff_delay_us, breaker_state_name, BreakerConfig, BreakerState, CircuitBreaker, FaultConfig,
+    FaultyBackend, MetricsSnapshot, ResilienceConfig, ResilientBackend,
 };
 pub use searcher::EntitySearcher;
 pub use tokenize::tokenize;

@@ -18,6 +18,7 @@
 //! state, no real sleeps.
 
 use crate::backend::{Deadline, KgBackend, RetrievalError, SearchOutcome};
+use kglink_obs::{Histogram, Tracer};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -395,20 +396,30 @@ pub struct MetricsSnapshot {
     pub breaker_trips: u64,
     /// Successful queries whose hit list was truncated.
     pub truncated: u64,
-    /// p50 end-to-end simulated latency of successful queries, microseconds.
-    pub latency_p50_us: u64,
-    /// p99 end-to-end simulated latency of successful queries, microseconds.
-    pub latency_p99_us: u64,
+    /// End-to-end simulated latency histogram of successful queries,
+    /// microseconds (includes failed attempts and backoff).
+    pub latency: Histogram,
 }
 
 impl MetricsSnapshot {
+    /// p50 end-to-end simulated latency of successful queries, microseconds.
+    pub fn latency_p50_us(&self) -> u64 {
+        self.latency.p50()
+    }
+
+    /// p99 end-to-end simulated latency of successful queries, microseconds.
+    pub fn latency_p99_us(&self) -> u64 {
+        self.latency.p99()
+    }
+
     /// Combine two snapshots (e.g. one per worker shard of a service) into
-    /// an aggregate: counters add; latency percentiles take the pessimistic
-    /// maximum, since exact percentiles cannot be reconstructed from two
-    /// summaries (the result upper-bounds the true aggregate percentile).
+    /// an aggregate: counters add, and the latency histograms merge
+    /// bucket-by-bucket, so aggregate percentiles are computed over the
+    /// union of samples instead of being approximated from two summaries.
     ///
-    /// `merge` is commutative and `MetricsSnapshot::default()` is its
-    /// identity, so shard order never changes the aggregate.
+    /// `merge` is commutative and associative, and
+    /// `MetricsSnapshot::default()` is its identity, so shard order never
+    /// changes the aggregate.
     pub fn merge(&self, other: &Self) -> Self {
         MetricsSnapshot {
             queries: self.queries + other.queries,
@@ -418,9 +429,17 @@ impl MetricsSnapshot {
             retries: self.retries + other.retries,
             breaker_trips: self.breaker_trips + other.breaker_trips,
             truncated: self.truncated + other.truncated,
-            latency_p50_us: self.latency_p50_us.max(other.latency_p50_us),
-            latency_p99_us: self.latency_p99_us.max(other.latency_p99_us),
+            latency: self.latency.merge(&other.latency),
         }
+    }
+}
+
+/// Stable lower-case names for [`BreakerState`], used in trace events.
+pub fn breaker_state_name(state: BreakerState) -> &'static str {
+    match state {
+        BreakerState::Closed => "closed",
+        BreakerState::Open => "open",
+        BreakerState::HalfOpen => "half_open",
     }
 }
 
@@ -434,7 +453,7 @@ struct ResilientState {
     breaker_rejections: u64,
     retries: u64,
     truncated: u64,
-    success_latencies_us: Vec<u64>,
+    latency: Histogram,
 }
 
 /// The production-shaped retrieval decorator: bounded retries with
@@ -444,6 +463,7 @@ struct ResilientState {
 pub struct ResilientBackend<B> {
     inner: B,
     config: ResilienceConfig,
+    tracer: Tracer,
     state: Mutex<ResilientState>,
 }
 
@@ -453,11 +473,20 @@ impl<B: KgBackend> ResilientBackend<B> {
         ResilientBackend {
             inner,
             config,
+            tracer: Tracer::disabled(),
             state: Mutex::new(ResilientState {
                 breaker: Some(breaker),
                 ..ResilientState::default()
             }),
         }
+    }
+
+    /// Attach a tracer: retry attempts, breaker transitions, and breaker
+    /// rejections are emitted as `retrieval.retry` / `breaker.transition` /
+    /// `breaker.reject` events.
+    pub fn with_tracer(mut self, tracer: &Tracer) -> Self {
+        self.tracer = tracer.clone();
+        self
     }
 
     pub fn config(&self) -> &ResilienceConfig {
@@ -472,15 +501,6 @@ impl<B: KgBackend> ResilientBackend<B> {
     /// Snapshot of the metrics ledger.
     pub fn metrics(&self) -> MetricsSnapshot {
         let state = self.state.lock().unwrap();
-        let mut sorted = state.success_latencies_us.clone();
-        sorted.sort_unstable();
-        let pct = |p: f64| -> u64 {
-            if sorted.is_empty() {
-                0
-            } else {
-                sorted[((sorted.len() - 1) as f64 * p) as usize]
-            }
-        };
         MetricsSnapshot {
             queries: state.queries,
             successes: state.successes,
@@ -489,8 +509,26 @@ impl<B: KgBackend> ResilientBackend<B> {
             retries: state.retries,
             breaker_trips: state.breaker.as_ref().map_or(0, |b| b.trips()),
             truncated: state.truncated,
-            latency_p50_us: pct(0.50),
-            latency_p99_us: pct(0.99),
+            latency: state.latency.clone(),
+        }
+    }
+
+    /// Feed one attempt outcome to the breaker, emitting a
+    /// `breaker.transition` event when its state changes.
+    fn record_breaker_outcome(&self, state: &mut ResilientState, ok: bool) {
+        let now = state.clock_us;
+        let breaker = state.breaker.as_mut().expect("breaker always present");
+        let before = breaker.state();
+        breaker.record(now, ok);
+        let after = breaker.state();
+        if after != before {
+            self.tracer.event_with(
+                "breaker.transition",
+                vec![
+                    ("from", breaker_state_name(before).to_string()),
+                    ("to", breaker_state_name(after).to_string()),
+                ],
+            );
         }
     }
 
@@ -521,10 +559,26 @@ impl<B: KgBackend> KgBackend for ResilientBackend<B> {
         loop {
             let now = state.clock_us;
             let breaker = state.breaker.as_mut().expect("breaker always present");
-            if !breaker.allow(now) {
+            let before = breaker.state();
+            let admitted = breaker.allow(now);
+            let after = breaker.state();
+            if after != before {
+                self.tracer.event_with(
+                    "breaker.transition",
+                    vec![
+                        ("from", breaker_state_name(before).to_string()),
+                        ("to", breaker_state_name(after).to_string()),
+                    ],
+                );
+            }
+            if !admitted {
                 let remaining = breaker.open_until_us().unwrap_or(now).saturating_sub(now);
                 state.breaker_rejections += 1;
                 state.failures += 1;
+                self.tracer.event_with(
+                    "breaker.reject",
+                    vec![("cooldown_remaining_us", remaining.to_string())],
+                );
                 return Err(RetrievalError::CircuitOpen {
                     cooldown_remaining_us: remaining,
                 });
@@ -536,11 +590,7 @@ impl<B: KgBackend> KgBackend for ResilientBackend<B> {
             match self.inner.search_entities(query, top_k, attempt_deadline) {
                 Ok(mut outcome) => {
                     state.clock_us += outcome.latency_us;
-                    state
-                        .breaker
-                        .as_mut()
-                        .expect("breaker always present")
-                        .record(state.clock_us, true);
+                    self.record_breaker_outcome(state, true);
                     state.successes += 1;
                     if outcome.truncated {
                         state.truncated += 1;
@@ -548,7 +598,7 @@ impl<B: KgBackend> KgBackend for ResilientBackend<B> {
                     // Report the query's end-to-end latency, including
                     // failed attempts and backoff.
                     outcome.latency_us = state.clock_us - started_us;
-                    state.success_latencies_us.push(outcome.latency_us);
+                    state.latency.record(outcome.latency_us);
                     return Ok(outcome);
                 }
                 Err(error) => {
@@ -557,11 +607,7 @@ impl<B: KgBackend> KgBackend for ResilientBackend<B> {
                         _ => self.config.failure_cost_us,
                     };
                     state.clock_us += cost;
-                    state
-                        .breaker
-                        .as_mut()
-                        .expect("breaker always present")
-                        .record(state.clock_us, false);
+                    self.record_breaker_outcome(state, false);
                     let out_of_budget =
                         state.clock_us - started_us >= deadline.budget_us();
                     if attempt >= self.config.max_retries
@@ -584,9 +630,18 @@ impl<B: KgBackend> KgBackend for ResilientBackend<B> {
                             .wrapping_mul(31)
                             .wrapping_add(attempt as u64),
                     ));
-                    state.clock_us += backoff_delay_us(&self.config, attempt, jitter_draw);
+                    let delay_us = backoff_delay_us(&self.config, attempt, jitter_draw);
+                    state.clock_us += delay_us;
                     state.retries += 1;
                     attempt += 1;
+                    self.tracer.event_with(
+                        "retrieval.retry",
+                        vec![
+                            ("attempt", attempt.to_string()),
+                            ("backoff_us", delay_us.to_string()),
+                            ("error", error.to_string()),
+                        ],
+                    );
                 }
             }
         }
@@ -732,7 +787,8 @@ mod tests {
         assert!(metrics.retries > 0);
         assert_eq!(metrics.queries, 30);
         assert_eq!(metrics.successes + metrics.failures, 30);
-        assert!(metrics.latency_p99_us >= metrics.latency_p50_us);
+        assert!(metrics.latency_p99_us() >= metrics.latency_p50_us());
+        assert_eq!(metrics.latency.count(), metrics.successes);
     }
 
     #[test]
@@ -756,6 +812,13 @@ mod tests {
 
     #[test]
     fn metrics_merge_is_commutative_with_default_identity() {
+        let hist_of = |values: &[u64]| {
+            let mut h = Histogram::new();
+            for &v in values {
+                h.record(v);
+            }
+            h
+        };
         let a = MetricsSnapshot {
             queries: 10,
             successes: 8,
@@ -764,8 +827,7 @@ mod tests {
             retries: 3,
             breaker_trips: 1,
             truncated: 2,
-            latency_p50_us: 400,
-            latency_p99_us: 9_000,
+            latency: hist_of(&[400, 410, 450, 500, 520, 600, 4_000, 9_000]),
         };
         let b = MetricsSnapshot {
             queries: 5,
@@ -775,17 +837,50 @@ mod tests {
             retries: 1,
             breaker_trips: 0,
             truncated: 0,
-            latency_p50_us: 700,
-            latency_p99_us: 1_200,
+            latency: hist_of(&[700, 710, 800, 900, 1_200]),
         };
         assert_eq!(a.merge(&b), b.merge(&a), "merge must be commutative");
         let merged = a.merge(&b);
         assert_eq!(merged.queries, 15);
         assert_eq!(merged.successes, 13);
         assert_eq!(merged.retries, 4);
-        assert_eq!(merged.latency_p50_us, 700, "pessimistic max");
-        assert_eq!(merged.latency_p99_us, 9_000);
+        // The merged histogram holds the union of samples, so aggregate
+        // percentiles come from real data, not a pessimistic max.
+        assert_eq!(merged.latency.count(), 13);
+        assert_eq!(merged.latency.max(), 9_000);
+        let union = hist_of(&[
+            400, 410, 450, 500, 520, 600, 4_000, 9_000, 700, 710, 800, 900, 1_200,
+        ]);
+        assert_eq!(merged.latency, union, "merge == recording the union");
         assert_eq!(a.merge(&MetricsSnapshot::default()), a, "default is identity");
+    }
+
+    #[test]
+    fn tracer_records_retry_and_breaker_events() {
+        let s = searcher();
+        let tracer = Tracer::enabled();
+        let faulty = FaultyBackend::new(&s, FaultConfig::with_fault_rate(9, 1.0));
+        let resilient =
+            ResilientBackend::new(faulty, ResilienceConfig::default()).with_tracer(&tracer);
+        for _ in 0..40 {
+            let _ = resilient.search_entities("Peter", 3, Deadline::UNBOUNDED);
+        }
+        let metrics = resilient.metrics();
+        assert_eq!(
+            tracer.events_named("retrieval.retry").len() as u64,
+            metrics.retries
+        );
+        assert_eq!(
+            tracer.events_named("breaker.reject").len() as u64,
+            metrics.breaker_rejections
+        );
+        let transitions = tracer.events_named("breaker.transition");
+        assert!(
+            !transitions.is_empty(),
+            "a full outage must produce at least closed -> open"
+        );
+        assert_eq!(transitions[0].fields[0], ("from", "closed".to_string()));
+        assert_eq!(transitions[0].fields[1], ("to", "open".to_string()));
     }
 
     #[test]

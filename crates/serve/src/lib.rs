@@ -40,7 +40,7 @@ mod worker;
 
 pub use error::ServiceError;
 pub use metered::{ExpiredBackend, MeteredBackend};
-pub use metrics::{percentile_us, ServiceMetrics};
+pub use metrics::ServiceMetrics;
 pub use queue::{AdmissionPolicy, BoundedQueue, PushError};
 pub use service::{Annotation, AnnotationService, ServiceConfig, SharedBackend, Ticket};
 

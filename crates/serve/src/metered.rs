@@ -13,6 +13,7 @@
 //! annotations instead of panicking or blocking a worker.
 
 use crate::service::SharedBackend;
+use kglink_obs::Histogram;
 use kglink_search::{Deadline, KgBackend, MetricsSnapshot, RetrievalError, SearchOutcome};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -27,7 +28,7 @@ pub struct MeteredBackend {
     /// Total simulated retrieval time, microseconds (successes only —
     /// failures carry no meaningful latency value).
     sim_latency_us: AtomicU64,
-    latencies_us: Mutex<Vec<u64>>,
+    latency: Mutex<Histogram>,
 }
 
 impl MeteredBackend {
@@ -39,7 +40,7 @@ impl MeteredBackend {
             failures: AtomicU64::new(0),
             truncated: AtomicU64::new(0),
             sim_latency_us: AtomicU64::new(0),
-            latencies_us: Mutex::new(Vec::new()),
+            latency: Mutex::new(Histogram::new()),
         }
     }
 
@@ -51,20 +52,6 @@ impl MeteredBackend {
     }
 
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let mut lat = self
-            .latencies_us
-            .lock()
-            .expect("latency lock poisoned")
-            .clone();
-        lat.sort_unstable();
-        let pct = |p: f64| -> u64 {
-            if lat.is_empty() {
-                0
-            } else {
-                let idx = ((lat.len() as f64 - 1.0) * p).round() as usize;
-                lat[idx.min(lat.len() - 1)]
-            }
-        };
         MetricsSnapshot {
             queries: self.queries.load(Ordering::Relaxed),
             successes: self.successes.load(Ordering::Relaxed),
@@ -73,8 +60,7 @@ impl MeteredBackend {
             retries: 0,
             breaker_trips: 0,
             truncated: self.truncated.load(Ordering::Relaxed),
-            latency_p50_us: pct(0.50),
-            latency_p99_us: pct(0.99),
+            latency: self.latency.lock().expect("latency lock poisoned").clone(),
         }
     }
 }
@@ -95,10 +81,10 @@ impl KgBackend for MeteredBackend {
                 }
                 self.sim_latency_us
                     .fetch_add(outcome.latency_us, Ordering::Relaxed);
-                self.latencies_us
+                self.latency
                     .lock()
                     .expect("latency lock poisoned")
-                    .push(outcome.latency_us);
+                    .record(outcome.latency_us);
                 Ok(outcome)
             }
             Err(e) => {
@@ -157,7 +143,8 @@ mod tests {
         assert_eq!(snap.failures, 0);
         // The raw searcher reports zero simulated latency.
         assert_eq!(meter.sim_latency_us(), 0);
-        assert_eq!(snap.latency_p50_us, 0);
+        assert_eq!(snap.latency_p50_us(), 0);
+        assert_eq!(snap.latency.count(), 3);
     }
 
     #[test]

@@ -125,8 +125,8 @@ impl fmt::Display for ServiceMetrics {
             self.retrieval.queries,
             self.retrieval.successes,
             self.retrieval.failures,
-            self.retrieval.latency_p50_us,
-            self.retrieval.latency_p99_us
+            self.retrieval.latency_p50_us(),
+            self.retrieval.latency_p99_us()
         )?;
         match &self.cache {
             Some(c) => write!(
@@ -142,18 +142,6 @@ impl fmt::Display for ServiceMetrics {
             None => write!(f, "cache: disabled"),
         }
     }
-}
-
-/// Percentile over raw sample values (nearest-rank on a sorted copy).
-/// Shared by the worker latency accounting and the experiment binary.
-pub fn percentile_us(samples: &[u64], p: f64) -> u64 {
-    if samples.is_empty() {
-        return 0;
-    }
-    let mut sorted = samples.to_vec();
-    sorted.sort_unstable();
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
 }
 
 #[cfg(test)]
@@ -184,12 +172,22 @@ mod tests {
     }
 
     #[test]
-    fn percentile_nearest_rank() {
-        let samples = vec![90, 70, 50, 30, 10, 20, 40, 60, 80];
-        assert_eq!(percentile_us(&samples, 0.0), 10);
-        assert_eq!(percentile_us(&samples, 0.5), 50);
-        assert_eq!(percentile_us(&samples, 1.0), 90);
-        assert_eq!(percentile_us(&[], 0.5), 0);
-        assert_eq!(percentile_us(&[42], 0.99), 42);
+    fn latency_percentiles_come_from_the_shared_histogram() {
+        let mut h = kglink_obs::Histogram::new();
+        for v in [90, 70, 50, 30, 10, 20, 40, 60, 80] {
+            h.record(v);
+        }
+        // Values below the histogram's exact linear range round-trip
+        // exactly, so the service metrics match nearest-rank percentiles.
+        assert_eq!(h.quantile(0.0), 10);
+        assert_eq!(h.quantile(0.5), 50);
+        assert_eq!(h.quantile(1.0), 90);
+        let m = ServiceMetrics {
+            latency_p50_us: h.p50(),
+            latency_p99_us: h.p99(),
+            ..Default::default()
+        };
+        assert_eq!(m.latency_p50_us, 50);
+        assert_eq!(m.latency_p99_us, 90);
     }
 }

@@ -24,12 +24,13 @@
 
 use crate::error::ServiceError;
 use crate::metered::MeteredBackend;
-use crate::metrics::{percentile_us, ServiceMetrics};
+use crate::metrics::ServiceMetrics;
 use crate::queue::{AdmissionPolicy, BoundedQueue, PushError};
 use crate::worker::{self, WorkerContext};
 use kglink_core::KgLink;
 use kglink_kg::KnowledgeGraph;
 use kglink_nn::Tokenizer;
+use kglink_obs::{Histogram, Tracer};
 use kglink_search::{CacheConfig, CachingBackend, Deadline, KgBackend, MetricsSnapshot};
 use kglink_table::{LabelId, Table};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -64,6 +65,10 @@ pub struct ServiceConfig {
     /// simulated retrieval latency this yields the per-worker busy-time
     /// that scaling experiments measure.
     pub sim_col_cost_us: u64,
+    /// Observability sink shared by the cache and every worker: queue-wait
+    /// and per-request service spans, plus cache hit/miss counters, land
+    /// here. Defaults to [`Tracer::disabled`] (zero overhead).
+    pub tracer: Tracer,
 }
 
 impl Default for ServiceConfig {
@@ -78,6 +83,7 @@ impl Default for ServiceConfig {
             default_deadline: Deadline::UNBOUNDED,
             cache: Some(CacheConfig::default()),
             sim_col_cost_us: 2_000,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -138,7 +144,7 @@ pub(crate) struct Shared {
     pub degraded_columns: AtomicU64,
     pub failed_cells: AtomicU64,
     pub in_flight: AtomicUsize,
-    pub latencies_us: Mutex<Vec<u64>>,
+    pub latency: Mutex<Histogram>,
     /// One slot per worker: simulated busy-time, µs.
     pub sim_busy_us: Vec<AtomicU64>,
 }
@@ -155,7 +161,7 @@ impl Shared {
             degraded_columns: AtomicU64::new(0),
             failed_cells: AtomicU64::new(0),
             in_flight: AtomicUsize::new(0),
-            latencies_us: Mutex::new(Vec::new()),
+            latency: Mutex::new(Histogram::new()),
             sim_busy_us: (0..workers).map(|_| AtomicU64::new(0)).collect(),
         }
     }
@@ -191,7 +197,7 @@ impl AnnotationService {
         let cache = config
             .cache
             .clone()
-            .map(|c| Arc::new(CachingBackend::new(backend.clone(), c)));
+            .map(|c| Arc::new(CachingBackend::new(backend.clone(), c).with_tracer(&config.tracer)));
         let effective: SharedBackend = match &cache {
             Some(c) => Arc::clone(c) as SharedBackend,
             None => backend,
@@ -213,6 +219,7 @@ impl AnnotationService {
                 shared: Arc::clone(&shared),
                 max_batch: config.max_batch.max(1),
                 sim_col_cost_us: config.sim_col_cost_us,
+                tracer: config.tracer.clone(),
             };
             let handle = std::thread::Builder::new()
                 .name(format!("kglink-serve-{idx}"))
@@ -302,9 +309,9 @@ impl AnnotationService {
             .iter()
             .map(|m| m.snapshot())
             .fold(MetricsSnapshot::default(), |acc, s| acc.merge(&s));
-        let latencies = self
+        let latency = self
             .shared
-            .latencies_us
+            .latency
             .lock()
             .expect("latency lock poisoned")
             .clone();
@@ -319,8 +326,8 @@ impl AnnotationService {
             annotated_columns: self.shared.annotated_columns.load(Ordering::Relaxed),
             degraded_columns: self.shared.degraded_columns.load(Ordering::Relaxed),
             failed_cells: self.shared.failed_cells.load(Ordering::Relaxed),
-            latency_p50_us: percentile_us(&latencies, 0.50),
-            latency_p99_us: percentile_us(&latencies, 0.99),
+            latency_p50_us: latency.p50(),
+            latency_p99_us: latency.p99(),
             sim_busy_us: self
                 .shared
                 .sim_busy_us

@@ -22,10 +22,11 @@
 use crate::metered::{ExpiredBackend, MeteredBackend};
 use crate::queue::BoundedQueue;
 use crate::service::{Annotation, Request, Shared};
-use kglink_core::pipeline::Resources;
+use kglink_core::pipeline::{req, Resources};
 use kglink_core::KgLink;
 use kglink_kg::KnowledgeGraph;
 use kglink_nn::Tokenizer;
+use kglink_obs::Tracer;
 use kglink_search::Deadline;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -41,6 +42,7 @@ pub(crate) struct WorkerContext {
     pub shared: Arc<Shared>,
     pub max_batch: usize,
     pub sim_col_cost_us: u64,
+    pub tracer: Tracer,
 }
 
 pub(crate) fn run(ctx: WorkerContext) {
@@ -50,41 +52,45 @@ pub(crate) fn run(ctx: WorkerContext) {
             // Closed and drained: exit.
             return;
         }
-        for req in batch {
+        for request in batch {
             ctx.shared.in_flight.fetch_add(1, Ordering::SeqCst);
-            let annotation = annotate_request(&ctx, &req);
-            let total_us = req.enqueued.elapsed().as_micros() as u64;
+            let annotation = serve_request(&ctx, &request);
+            let total_us = request.enqueued.elapsed().as_micros() as u64;
             record_completion(&ctx, &annotation, total_us);
             // The ticket may have been dropped; that's the caller's choice.
-            let _ = req.reply.send(Ok(annotation));
+            let _ = request.reply.send(Ok(annotation));
             ctx.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
         }
     }
 }
 
-fn annotate_request(ctx: &WorkerContext, req: &Request) -> Annotation {
-    let wait_us = req.enqueued.elapsed().as_micros() as u64;
-    let budget = req.deadline.budget_us();
-    let expired = !req.deadline.is_unbounded() && wait_us >= budget;
+fn serve_request(ctx: &WorkerContext, request: &Request) -> Annotation {
+    let wait_us = request.enqueued.elapsed().as_micros() as u64;
+    // Queue wait is dead time before service starts, so it is a stage
+    // timer, not a span: `serve.request` below covers service time only.
+    ctx.tracer.record_us("serve.queue_wait", wait_us);
+    let _request_span = ctx.tracer.span("serve.request");
+    let budget = request.deadline.budget_us();
+    let expired = !request.deadline.is_unbounded() && wait_us >= budget;
 
     let sim_before = ctx.meter.sim_latency_us();
     let outcome = if expired {
         // Out of budget: every retrieval fails instantly and the pipeline
         // degrades to its no-linkage path. Arity is preserved; no panic.
-        let resources = Resources::new(&ctx.graph, &ExpiredBackend, &ctx.tokenizer);
-        ctx.model
-            .annotate_outcome(&resources, &req.table, Deadline::UNBOUNDED)
+        let resources = worker_resources(ctx, &ExpiredBackend);
+        ctx.model.annotate_request(&resources, req(&request.table))
     } else {
-        let remaining = if req.deadline.is_unbounded() {
+        let remaining = if request.deadline.is_unbounded() {
             Deadline::UNBOUNDED
         } else {
             Deadline::from_us(budget - wait_us)
         };
-        let resources = Resources::new(&ctx.graph, ctx.meter.as_ref(), &ctx.tokenizer);
-        ctx.model.annotate_outcome(&resources, &req.table, remaining)
+        let resources = worker_resources(ctx, ctx.meter.as_ref());
+        ctx.model
+            .annotate_request(&resources, req(&request.table).deadline(remaining))
     };
     let sim_retrieval_us = ctx.meter.sim_latency_us() - sim_before;
-    let sim_cost_us = sim_retrieval_us + ctx.sim_col_cost_us * req.table.n_cols() as u64;
+    let sim_cost_us = sim_retrieval_us + ctx.sim_col_cost_us * request.table.n_cols() as u64;
     ctx.shared.sim_busy_us[ctx.idx].fetch_add(sim_cost_us, Ordering::Relaxed);
 
     Annotation {
@@ -94,6 +100,22 @@ fn annotate_request(ctx: &WorkerContext, req: &Request) -> Annotation {
         queue_us: wait_us,
         expired,
     }
+}
+
+/// The per-call resource bundle a worker annotates through. Infallible by
+/// construction: the service validated the graph/tokenizer at startup, so
+/// the builder can only fail on a bug in this crate.
+fn worker_resources<'a>(
+    ctx: &'a WorkerContext,
+    backend: &'a (dyn kglink_search::KgBackend + 'a),
+) -> Resources<'a> {
+    Resources::builder()
+        .graph(&ctx.graph)
+        .backend(backend)
+        .tokenizer(&ctx.tokenizer)
+        .tracer(&ctx.tracer)
+        .build()
+        .expect("service resources validated at startup")
 }
 
 fn record_completion(ctx: &WorkerContext, annotation: &Annotation, total_us: u64) {
@@ -112,8 +134,8 @@ fn record_completion(ctx: &WorkerContext, annotation: &Annotation, total_us: u64
         .failed_cells
         .fetch_add(annotation.failed_cells as u64, Ordering::Relaxed);
     shared
-        .latencies_us
+        .latency
         .lock()
         .expect("latency lock poisoned")
-        .push(total_us);
+        .record(total_us);
 }

@@ -32,7 +32,12 @@ fn main() {
     let corpus = pretrain_corpus(&world, 31);
     let vocab = build_vocab(corpus.iter().map(String::as_str), &[&bench.dataset], 8000);
     let tokenizer = Tokenizer::new(vocab);
-    let resources = Resources::new(&world.graph, &searcher, &tokenizer);
+    let resources = Resources::builder()
+        .graph(&world.graph)
+        .backend(&searcher)
+        .tokenizer(&tokenizer)
+        .build()
+        .expect("a complete resource bundle");
 
     let base = KgLinkConfig {
         epochs: 8,

@@ -9,7 +9,7 @@
 //! labels), then applied to the CSV: each column gets one of the learned
 //! semantic types together with the KG evidence Part 1 extracted for it.
 
-use kglink::core::pipeline::{build_vocab, KgLink, Resources};
+use kglink::core::pipeline::{build_vocab, req, KgLink, Resources};
 use kglink::core::{KgLinkConfig, Preprocessor};
 use kglink::datagen::{pretrain_corpus, viznet_like, VizNetConfig};
 use kglink::kg::{SyntheticWorld, WorldConfig};
@@ -75,7 +75,12 @@ fn main() {
     let corpus = pretrain_corpus(&world, 51);
     let vocab = build_vocab(corpus.iter().map(String::as_str), &[&bench.dataset], 10_000);
     let tokenizer = Tokenizer::new(vocab);
-    let resources = Resources::new(&world.graph, &searcher, &tokenizer);
+    let resources = Resources::builder()
+        .graph(&world.graph)
+        .backend(&searcher)
+        .tokenizer(&tokenizer)
+        .build()
+        .expect("a complete resource bundle");
     println!("Training KGLink on the VizNet-like benchmark…");
     let (kglink, _) = KgLink::fit(
         &resources,
@@ -88,7 +93,9 @@ fn main() {
 
     let pre = Preprocessor::new(&world.graph, &searcher, kglink.config.clone());
     let processed = pre.process(&table);
-    let predictions = kglink.annotate_names(&resources, &table);
+    let predictions = kglink
+        .annotate_request(&resources, req(&table))
+        .names(&kglink.labels);
     println!("\nColumn annotations:");
     let mut col = 0usize;
     for pt in &processed {

@@ -4,7 +4,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use kglink::core::pipeline::{build_vocab, KgLink, Resources};
+use kglink::core::pipeline::{build_vocab, req, KgLink, Resources};
 use kglink::core::KgLinkConfig;
 use kglink::datagen::{pretrain_corpus, semtab_like, SemTabConfig};
 use kglink::kg::{KgStats, SyntheticWorld, WorldConfig};
@@ -42,7 +42,12 @@ fn main() {
     let corpus = pretrain_corpus(&world, 42);
     let vocab = build_vocab(corpus.iter().map(String::as_str), &[&bench.dataset], 8000);
     let tokenizer = Tokenizer::new(vocab);
-    let resources = Resources::new(&world.graph, &searcher, &tokenizer);
+    let resources = Resources::builder()
+        .graph(&world.graph)
+        .backend(&searcher)
+        .tokenizer(&tokenizer)
+        .build()
+        .expect("a complete resource bundle");
 
     // 4. Train KGLink.
     let config = KgLinkConfig {
@@ -70,7 +75,9 @@ fn main() {
     );
 
     let table = bench.dataset.tables_in(Split::Test).next().expect("test table");
-    let names = kglink.annotate_names(&resources, table);
+    let names = kglink
+        .annotate_request(&resources, req(table))
+        .names(&kglink.labels);
     println!("\nAnnotated test table {:?}:", table.id);
     for (c, name) in names.iter().enumerate() {
         let truth = bench.dataset.labels.name(table.labels[c]);

@@ -7,7 +7,7 @@
 //! cargo run --release --example web_table_annotation
 //! ```
 
-use kglink::core::pipeline::{build_vocab, KgLink, Resources};
+use kglink::core::pipeline::{build_vocab, req, KgLink, Resources};
 use kglink::core::{KgLinkConfig, Preprocessor};
 use kglink::datagen::{pretrain_corpus, viznet_like, VizNetConfig};
 use kglink::kg::{SyntheticWorld, WorldConfig};
@@ -33,7 +33,12 @@ fn main() {
     let corpus = pretrain_corpus(&world, 21);
     let vocab = build_vocab(corpus.iter().map(String::as_str), &[&bench.dataset], 10_000);
     let tokenizer = Tokenizer::new(vocab);
-    let resources = Resources::new(&world.graph, &searcher, &tokenizer);
+    let resources = Resources::builder()
+        .graph(&world.graph)
+        .backend(&searcher)
+        .tokenizer(&tokenizer)
+        .build()
+        .expect("a complete resource bundle");
 
     println!("Training KGLink on the VizNet-like benchmark…");
     let (kglink, _) = KgLink::fit(
@@ -94,7 +99,9 @@ fn main() {
         );
     }
 
-    let names = kglink.annotate_names(&resources, &table);
+    let names = kglink
+        .annotate_request(&resources, req(&table))
+        .names(&kglink.labels);
     println!("\nPart 2 — predicted column types:");
     for (c, name) in names.iter().enumerate() {
         println!(

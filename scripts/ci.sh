@@ -16,4 +16,17 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== exp_serve smoke (serving-layer identity + cache gate) =="
 KGLINK_FAST=1 cargo run --release -q -p kglink-bench --bin exp_serve -- --smoke
 
+echo "== exp_obs smoke (stage tiling + zero-overhead tracer gate) =="
+KGLINK_FAST=1 cargo run --release -q -p kglink-bench --bin exp_obs -- --smoke
+
+echo "== single-percentile-implementation gate =="
+# All percentile/quantile math lives in kglink-obs's Histogram. A hand-rolled
+# sort-and-index percentile anywhere else reintroduces the drift this layer
+# was built to kill.
+if grep -rnE "fn (percentile|quantile)" --include='*.rs' crates src examples tests benches 2>/dev/null \
+    | grep -v '^crates/obs/'; then
+  echo "FAIL: percentile/quantile implementation outside crates/obs (use kglink_obs::Histogram)"
+  exit 1
+fi
+
 echo "CI OK"

@@ -22,6 +22,17 @@ struct Fixture {
     tokenizer: Tokenizer,
 }
 
+impl Fixture {
+    fn resources(&self) -> Resources<'_> {
+        Resources::builder()
+            .graph(&self.world.graph)
+            .backend(&self.searcher)
+            .tokenizer(&self.tokenizer)
+            .build()
+            .unwrap()
+    }
+}
+
 fn fixture(seed: u64) -> Fixture {
     let world = SyntheticWorld::generate(&WorldConfig {
         seed,
@@ -67,7 +78,7 @@ fn fixture(seed: u64) -> Fixture {
 #[test]
 fn kglink_end_to_end_on_both_benchmarks() {
     let f = fixture(201);
-    let resources = Resources::new(&f.world.graph, &f.searcher, &f.tokenizer);
+    let resources = f.resources();
     for bench in [&f.semtab, &f.viznet] {
         let config = KgLinkConfig {
             epochs: 4,
@@ -106,8 +117,7 @@ fn pretrained_encoder_transfers_into_kglink() {
     pre.train(&ids);
     let (mut enc, _) = pre.into_parts();
     let blob = save_params(&mut enc).to_vec();
-    let resources =
-        Resources::new(&f.world.graph, &f.searcher, &f.tokenizer).with_pretrained(&blob);
+    let resources = f.resources().with_pretrained(&blob);
     let (model, _) = KgLink::fit(&resources, &f.semtab.dataset, KgLinkConfig::fast_test());
     let summary = model.evaluate(&resources, &f.semtab.dataset, Split::Test);
     assert!(summary.support > 0);
@@ -116,7 +126,7 @@ fn pretrained_encoder_transfers_into_kglink() {
 #[test]
 fn ablations_run_and_stay_better_than_random() {
     let f = fixture(203);
-    let resources = Resources::new(&f.world.graph, &f.searcher, &f.tokenizer);
+    let resources = f.resources();
     let base = KgLinkConfig {
         epochs: 10,
         patience: 0,
@@ -136,7 +146,7 @@ fn ablations_run_and_stay_better_than_random() {
 #[test]
 fn baselines_conform_to_the_trait_and_run() {
     let f = fixture(204);
-    let resources = Resources::new(&f.world.graph, &f.searcher, &f.tokenizer);
+    let resources = f.resources();
     let env = BenchEnv {
         resources: &resources,
         labels: &f.semtab.dataset.labels,
@@ -190,8 +200,8 @@ fn determinism_across_identical_runs() {
     let f2 = fixture(206);
     assert_eq!(f1.world.graph.len(), f2.world.graph.len());
     assert_eq!(f1.semtab.dataset.len(), f2.semtab.dataset.len());
-    let resources1 = Resources::new(&f1.world.graph, &f1.searcher, &f1.tokenizer);
-    let resources2 = Resources::new(&f2.world.graph, &f2.searcher, &f2.tokenizer);
+    let resources1 = f1.resources();
+    let resources2 = f2.resources();
     let cfg = KgLinkConfig {
         epochs: 2,
         ..KgLinkConfig::fast_test()

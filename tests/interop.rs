@@ -18,7 +18,12 @@ fn csv_file_can_be_annotated_end_to_end() {
     let corpus = pretrain_corpus(&world, 301);
     let vocab = build_vocab(corpus.iter().map(String::as_str), &[&bench.dataset], 6000);
     let tokenizer = Tokenizer::new(vocab);
-    let resources = Resources::new(&world.graph, &searcher, &tokenizer);
+    let resources = Resources::builder()
+        .graph(&world.graph)
+        .backend(&searcher)
+        .tokenizer(&tokenizer)
+        .build()
+        .unwrap();
     let (model, _) = KgLink::fit(
         &resources,
         &bench.dataset,
@@ -42,7 +47,9 @@ fn csv_file_can_be_annotated_end_to_end() {
     }
     let table = table_from_csv(TableId(500), &csv).unwrap();
     assert_eq!(table.headers, vec!["city", "country"]);
-    let names = model.annotate_names(&resources, &table);
+    let names = model
+        .annotate_request(&resources, kglink::core::req(&table))
+        .names(&model.labels);
     assert_eq!(names.len(), 2);
     // Predictions are valid label names from the trained vocabulary.
     for n in &names {

@@ -49,7 +49,12 @@ fn fix(seed: u64) -> Fix {
 #[test]
 fn kg_information_helps_on_semtab_like_data() {
     let f = fix(601);
-    let resources = Resources::new(&f.world.graph, &f.searcher, &f.tokenizer);
+    let resources = Resources::builder()
+        .graph(&f.world.graph)
+        .backend(&f.searcher)
+        .tokenizer(&f.tokenizer)
+        .build()
+        .unwrap();
     let base = KgLinkConfig {
         epochs: 6,
         patience: 0,

@@ -1,7 +1,7 @@
 //! Failure-injection and edge-case integration tests: the pipeline must
 //! degrade gracefully, never panic, on degenerate inputs.
 
-use kglink::core::pipeline::{build_vocab, KgLink, Resources};
+use kglink::core::pipeline::{build_vocab, req, KgLink, Resources};
 use kglink::core::serialize::{serialize_table, SlotFill};
 use kglink::core::{KgLinkConfig, KgLinkError, Preprocessor};
 use kglink::datagen::{pretrain_corpus, semtab_like, SemTabConfig};
@@ -25,7 +25,12 @@ fn trained_model() -> (
     let vocab = build_vocab(corpus.iter().map(String::as_str), &[&bench.dataset], 6000);
     let tokenizer = Tokenizer::new(vocab);
     let (model, _) = {
-        let resources = Resources::new(&world.graph, &searcher, &tokenizer);
+        let resources = Resources::builder()
+            .graph(&world.graph)
+            .backend(&searcher)
+            .tokenizer(&tokenizer)
+            .build()
+            .unwrap();
         KgLink::fit(
             &resources,
             &bench.dataset,
@@ -41,7 +46,12 @@ fn trained_model() -> (
 #[test]
 fn annotating_degenerate_tables_never_panics() {
     let (world, searcher, tokenizer, model) = trained_model();
-    let resources = Resources::new(&world.graph, &searcher, &tokenizer);
+    let resources = Resources::builder()
+        .graph(&world.graph)
+        .backend(&searcher)
+        .tokenizer(&tokenizer)
+        .build()
+        .unwrap();
     let cases: Vec<Table> = vec![
         // All-empty cells.
         Table::new(
@@ -95,7 +105,7 @@ fn annotating_degenerate_tables_never_panics() {
         ),
     ];
     for table in &cases {
-        let preds = model.annotate(&resources, table);
+        let preds = model.annotate_request(&resources, req(table)).labels;
         assert_eq!(preds.len(), table.n_cols(), "table {:?}", table.id);
         for p in preds {
             assert!((p.index()) < model.labels.len());
@@ -113,7 +123,12 @@ fn empty_knowledge_graph_still_allows_training() {
     let corpus = pretrain_corpus(&world, 402);
     let vocab = build_vocab(corpus.iter().map(String::as_str), &[&bench.dataset], 6000);
     let tokenizer = Tokenizer::new(vocab);
-    let resources = Resources::new(&empty, &searcher, &tokenizer);
+    let resources = Resources::builder()
+        .graph(&empty)
+        .backend(&searcher)
+        .tokenizer(&tokenizer)
+        .build()
+        .unwrap();
     // Without KG features the tiny fixture carries little signal per epoch;
     // give the optimizer a budget that can actually beat chance.
     let mut config = KgLinkConfig {
@@ -158,14 +173,22 @@ fn outage_mid_annotate_degrades_and_stays_deterministic() {
     let bench = semtab_like(&world, &SemTabConfig::tiny(401));
     let tables: Vec<&Table> = bench.dataset.tables.iter().take(6).collect();
     let annotate_all = |resources: &Resources<'_>| -> Vec<Vec<LabelId>> {
-        tables.iter().map(|t| model.annotate(resources, t)).collect()
+        tables
+            .iter()
+            .map(|t| model.annotate_request(resources, req(t)).labels)
+            .collect()
     };
     let run = || -> Vec<Vec<LabelId>> {
         let dying = FaultyBackend::new(
             &searcher,
             FaultConfig::healthy(404).with_outage(5, u64::MAX),
         );
-        let resources = Resources::new(&world.graph, &dying, &tokenizer);
+        let resources = Resources::builder()
+            .graph(&world.graph)
+            .backend(&dying)
+            .tokenizer(&tokenizer)
+            .build()
+            .unwrap();
         annotate_all(&resources)
     };
     let first = run();
@@ -191,7 +214,12 @@ fn flapping_backend_during_fit_completes_deterministically() {
     let run = || {
         let flaky = FaultyBackend::new(&searcher, FaultConfig::with_fault_rate(405, 0.3));
         let resilient = ResilientBackend::new(&flaky, ResilienceConfig::default());
-        let resources = Resources::new(&world.graph, &resilient, &tokenizer);
+        let resources = Resources::builder()
+            .graph(&world.graph)
+            .backend(&resilient)
+            .tokenizer(&tokenizer)
+            .build()
+            .unwrap();
         let (model, report) = KgLink::fit(&resources, &bench.dataset, KgLinkConfig::fast_test());
         let summary = model.evaluate(&resources, &bench.dataset, kglink::table::Split::Test);
         (report.epoch_loss, summary.accuracy, summary.support)
@@ -262,15 +290,25 @@ fn zero_column_table_yields_typed_error_and_annotate_survives() {
         Err(KgLinkError::DegenerateTable { table, .. }) => assert_eq!(table, TableId(90)),
         other => panic!("expected DegenerateTable, got {other:?}"),
     }
-    let resources = Resources::new(&world.graph, &searcher, &tokenizer);
-    assert!(model.annotate(&resources, &empty).is_empty());
+    let resources = Resources::builder()
+        .graph(&world.graph)
+        .backend(&searcher)
+        .tokenizer(&tokenizer)
+        .build()
+        .unwrap();
+    assert!(model.annotate_request(&resources, req(&empty)).labels.is_empty());
 }
 
 #[test]
 fn extreme_config_values_are_tolerated() {
     let (world, searcher, tokenizer, _) = trained_model();
     let bench = semtab_like(&world, &SemTabConfig::tiny(401));
-    let resources = Resources::new(&world.graph, &searcher, &tokenizer);
+    let resources = Resources::builder()
+        .graph(&world.graph)
+        .backend(&searcher)
+        .tokenizer(&tokenizer)
+        .build()
+        .unwrap();
     // k = 1 row, 1 entity per mention, 1 candidate type, tiny budgets.
     let config = KgLinkConfig {
         epochs: 1,
@@ -284,5 +322,5 @@ fn extreme_config_values_are_tolerated() {
     };
     let (model, _) = KgLink::fit(&resources, &bench.dataset, config);
     let t = &bench.dataset.tables[0];
-    assert_eq!(model.annotate(&resources, t).len(), t.n_cols());
+    assert_eq!(model.annotate_request(&resources, req(t)).labels.len(), t.n_cols());
 }

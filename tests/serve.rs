@@ -7,7 +7,7 @@
 //! even the tiny model dominates test time, and every test here only
 //! *reads* the model.
 
-use kglink::core::pipeline::{build_vocab, KgLink, Resources};
+use kglink::core::pipeline::{build_vocab, req, KgLink, Resources};
 use kglink::core::{KgLinkConfig, Preprocessor};
 use kglink::datagen::{pretrain_corpus, semtab_like, SemTabConfig};
 use kglink::kg::{KnowledgeGraph, SyntheticWorld, WorldConfig};
@@ -29,6 +29,21 @@ struct Fixture {
     tables: Vec<Table>,
 }
 
+impl Fixture {
+    /// Resources over an arbitrary backend, for single-threaded baselines.
+    fn resources_with<'a>(
+        &'a self,
+        backend: &'a (dyn kglink::search::KgBackend + 'a),
+    ) -> Resources<'a> {
+        Resources::builder()
+            .graph(&self.graph)
+            .backend(backend)
+            .tokenizer(&self.tokenizer)
+            .build()
+            .unwrap()
+    }
+}
+
 fn fixture() -> &'static Fixture {
     static FIXTURE: OnceLock<Fixture> = OnceLock::new();
     FIXTURE.get_or_init(|| {
@@ -39,7 +54,12 @@ fn fixture() -> &'static Fixture {
         let vocab = build_vocab(corpus.iter().map(String::as_str), &[&bench.dataset], 6000);
         let tokenizer = Tokenizer::new(vocab);
         let (model, _) = {
-            let resources = Resources::new(&world.graph, &searcher, &tokenizer);
+            let resources = Resources::builder()
+                .graph(&world.graph)
+                .backend(&searcher)
+                .tokenizer(&tokenizer)
+                .build()
+                .unwrap();
             KgLink::fit(
                 &resources,
                 &bench.dataset,
@@ -73,11 +93,11 @@ fn service(fx: &Fixture, config: ServiceConfig) -> AnnotationService {
 #[test]
 fn worker_pools_are_bit_identical_to_single_threaded_annotation() {
     let fx = fixture();
-    let resources = Resources::new(&fx.graph, fx.searcher.as_ref(), &fx.tokenizer);
+    let resources = fx.resources_with(fx.searcher.as_ref());
     let baseline: Vec<Vec<LabelId>> = fx
         .tables
         .iter()
-        .map(|t| fx.model.annotate(&resources, t))
+        .map(|t| fx.model.annotate_request(&resources, req(t)).labels)
         .collect();
     for workers in [1, 3] {
         let svc = service(
@@ -192,8 +212,11 @@ fn expired_deadline_degrades_gracefully_instead_of_panicking() {
     // backend: the no-linkage path does not depend on *why* retrieval
     // failed.
     let dead = FaultyBackend::new(fx.searcher.as_ref(), FaultConfig::with_fault_rate(411, 1.0));
-    let dead_resources = Resources::new(&fx.graph, &dead, &fx.tokenizer);
-    assert_eq!(annotation.labels, fx.model.annotate(&dead_resources, table));
+    let dead_resources = fx.resources_with(&dead);
+    assert_eq!(
+        annotation.labels,
+        fx.model.annotate_request(&dead_resources, req(table)).labels
+    );
     assert!(svc.metrics().expired >= 1);
 }
 
@@ -264,12 +287,12 @@ fn preprocessing_through_the_cache_is_deterministic() {
         "the second pass must be served from the cache: {stats:?}"
     );
     // And end-to-end: annotation over the warm cache equals direct.
-    let direct_res = Resources::new(&fx.graph, fx.searcher.as_ref(), &fx.tokenizer);
-    let cached_res = Resources::new(&fx.graph, &cached_backend, &fx.tokenizer);
+    let direct_res = fx.resources_with(fx.searcher.as_ref());
+    let cached_res = fx.resources_with(&cached_backend);
     for table in fx.tables.iter().take(3) {
         assert_eq!(
-            fx.model.annotate(&cached_res, table),
-            fx.model.annotate(&direct_res, table)
+            fx.model.annotate_request(&cached_res, req(table)).labels,
+            fx.model.annotate_request(&direct_res, req(table)).labels
         );
     }
 }
