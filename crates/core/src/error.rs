@@ -5,6 +5,7 @@
 //! choose between propagating (`try_*` APIs) and skipping (the annotator
 //! falls back to a default label rather than crash on one bad table).
 
+use kglink_nn::checkpoint::CheckpointError;
 use kglink_search::RetrievalError;
 use kglink_table::TableId;
 use std::fmt;
@@ -21,6 +22,8 @@ pub enum KgLinkError {
     MissingResource { what: &'static str },
     /// KG retrieval failed and no degraded path was applicable.
     Retrieval(RetrievalError),
+    /// A training checkpoint could not be written, read, or applied.
+    Checkpoint(CheckpointError),
 }
 
 impl KgLinkError {
@@ -53,6 +56,7 @@ impl fmt::Display for KgLinkError {
                 write!(f, "missing resource: no {what} was provided")
             }
             KgLinkError::Retrieval(e) => write!(f, "retrieval failed: {e}"),
+            KgLinkError::Checkpoint(e) => write!(f, "checkpoint failed: {e}"),
         }
     }
 }
@@ -62,6 +66,12 @@ impl std::error::Error for KgLinkError {}
 impl From<RetrievalError> for KgLinkError {
     fn from(e: RetrievalError) -> Self {
         KgLinkError::Retrieval(e)
+    }
+}
+
+impl From<CheckpointError> for KgLinkError {
+    fn from(e: CheckpointError) -> Self {
+        KgLinkError::Checkpoint(e)
     }
 }
 

@@ -51,7 +51,8 @@ pub use error::KgLinkError;
 pub use linking::{CellLink, LinkedTable};
 pub use model::KgLinkModel;
 pub use pipeline::{
-    req, AnnotateOutcome, AnnotateRequest, KgLink, Resources, ResourcesBuilder, TrainReport,
+    req, AnnotateOutcome, AnnotateRequest, FitOptions, GuardPolicy, KgLink, Resources,
+    ResourcesBuilder, TrainReport,
 };
 pub use preprocess::{preprocess_table, preprocess_table_traced, ProcessedTable, Preprocessor};
 pub use stats::{DegradationStats, LinkStatistics, LinkageClass};

@@ -5,7 +5,7 @@ use crate::error::KgLinkError;
 use crate::model::KgLinkModel;
 use crate::preprocess::{Preprocessor, ProcessedTable};
 use crate::train::{self, prepare_tables};
-pub use crate::train::TrainReport;
+pub use crate::train::{FitOptions, GuardPolicy, TrainReport};
 use kglink_kg::KnowledgeGraph;
 use kglink_nn::layers::param::HasParams;
 use kglink_nn::serialize::load_params;
@@ -249,6 +249,27 @@ impl KgLink {
     /// Train KGLink on a dataset's train split, early-stopping on its
     /// validation split. Returns the annotator and the training trace.
     pub fn fit(resources: &Resources<'_>, dataset: &Dataset, config: KgLinkConfig) -> (Self, TrainReport) {
+        Self::fit_with(resources, dataset, config, &FitOptions::default())
+            .expect("fit without checkpoint I/O cannot fail")
+    }
+
+    /// [`fit`](Self::fit) with crash-safety options: periodic atomic
+    /// checkpoints, resume from a previous run's checkpoint, and
+    /// divergence guards.
+    ///
+    /// ```ignore
+    /// let options = FitOptions::new()
+    ///     .checkpoint_every("run/model.kgck", 50)
+    ///     .resume_from("run/model.kgck")
+    ///     .guard(GuardPolicy::SkipStep);
+    /// let (kglink, report) = KgLink::fit_with(&resources, &dataset, config, &options)?;
+    /// ```
+    pub fn fit_with(
+        resources: &Resources<'_>,
+        dataset: &Dataset,
+        config: KgLinkConfig,
+        options: &FitOptions,
+    ) -> Result<(Self, TrainReport), KgLinkError> {
         let tracer = &resources.tracer;
         let _fit = tracer.span("fit");
         let pre = Preprocessor::new(resources.graph, resources.backend, config.clone())
@@ -263,7 +284,7 @@ impl KgLink {
             let _preprocess = tracer.span("fit.preprocess");
             (process(Split::Train), process(Split::Validation))
         };
-        Self::fit_processed(resources, &train_pt, &val_pt, &dataset.labels, config)
+        Self::fit_processed_with(resources, &train_pt, &val_pt, &dataset.labels, config, options)
     }
 
     /// Train from already-preprocessed tables (lets the experiment harness
@@ -275,6 +296,26 @@ impl KgLink {
         labels: &LabelVocab,
         config: KgLinkConfig,
     ) -> (Self, TrainReport) {
+        Self::fit_processed_with(
+            resources,
+            train_pt,
+            val_pt,
+            labels,
+            config,
+            &FitOptions::default(),
+        )
+        .expect("fit without checkpoint I/O cannot fail")
+    }
+
+    /// [`fit_processed`](Self::fit_processed) with crash-safety options.
+    pub fn fit_processed_with(
+        resources: &Resources<'_>,
+        train_pt: &[ProcessedTable],
+        val_pt: &[ProcessedTable],
+        labels: &LabelVocab,
+        config: KgLinkConfig,
+        options: &FitOptions,
+    ) -> Result<(Self, TrainReport), KgLinkError> {
         let tokenizer = resources.tokenizer;
         let tracer = &resources.tracer;
         let (train_prep, val_prep) = {
@@ -291,16 +332,16 @@ impl KgLink {
         }
         let report = {
             let _train = tracer.span("fit.train");
-            train::train(&mut model, &config, &train_prep, &val_prep)
+            train::train_with(&mut model, &config, &train_prep, &val_prep, options, tracer)?
         };
-        (
+        Ok((
             KgLink {
                 config,
                 model,
                 labels: labels.clone(),
             },
             report,
-        )
+        ))
     }
 
     /// The single annotation entry point: labels plus degradation

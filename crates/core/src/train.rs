@@ -1,16 +1,22 @@
 //! Part 2 training: multi-task fine-tuning with the adaptive combined loss.
 
 use crate::config::KgLinkConfig;
+use crate::error::KgLinkError;
 use crate::model::KgLinkModel;
 use crate::preprocess::ProcessedTable;
 use crate::serialize::{serialize_features, serialize_table, SerializedTable, SlotFill};
+use kglink_nn::checkpoint::{
+    load_train_state, CheckpointError, Checkpointer, TrainCheckpoint,
+};
 use kglink_nn::layers::param::HasParams;
 use kglink_nn::serialize::{load_params, save_params};
-use kglink_nn::{cross_entropy, dmlm_loss, AdamW, LinearDecay, Tensor, Tokenizer};
+use kglink_nn::{cross_entropy, dmlm_loss, AdamW, LinearDecay, Task, Tensor, Tokenizer};
+use kglink_obs::Tracer;
 use kglink_table::{EvalSummary, LabelId, LabelVocab};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
 
 /// A table fully prepared for the network: serialized masked input, the
 /// optional ground-truth teacher table, feature sequences, and labels.
@@ -56,6 +62,98 @@ pub struct TrainReport {
     pub sigma_trajectory: Vec<(f32, f32)>,
     /// Epoch whose weights were kept (early stopping).
     pub best_epoch: usize,
+    /// Optimizer steps whose loss or gradients were non-finite.
+    pub nonfinite_steps: u64,
+    /// Times [`GuardPolicy::Rollback`] restored the last checkpointed state.
+    pub rollbacks: u64,
+    /// Global step of the checkpoint this run resumed from, if any.
+    pub resumed_from_step: Option<u64>,
+    /// `true` when the run stopped at [`FitOptions::halt_after_step`]
+    /// (simulated kill) instead of training to completion.
+    pub halted: bool,
+}
+
+/// What the training loop does when a step's loss or gradients come back
+/// non-finite (NaN/∞ — numerical divergence, bad batch, hardware fault).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GuardPolicy {
+    /// No guard: the step is applied as-is and non-finite values propagate
+    /// into the weights (the pre-guard behavior; kept for ablation).
+    #[default]
+    Off,
+    /// Drop the poisoned gradients, skip the optimizer step, and keep
+    /// training. Counted in [`TrainReport::nonfinite_steps`] and surfaced
+    /// as a `train.nonfinite` tracer event.
+    SkipStep,
+    /// Like [`SkipStep`](Self::SkipStep), but after `max_consecutive` bad
+    /// steps in a row, restore weights + optimizer moments from the last
+    /// checkpoint (or the initial state when none was written yet). The
+    /// step cursor and RNG keep advancing past the bad region, so a
+    /// deterministic fault cannot cause an infinite replay loop.
+    Rollback { max_consecutive: usize },
+}
+
+/// Crash-safety options for [`train_with`] / [`KgLink::fit_with`].
+///
+/// ```ignore
+/// let options = FitOptions::new()
+///     .checkpoint_every("run/model.kgck", 50)
+///     .resume_from("run/model.kgck")
+///     .guard(GuardPolicy::SkipStep);
+/// ```
+///
+/// [`KgLink::fit_with`]: crate::pipeline::KgLink::fit_with
+#[derive(Debug, Default)]
+pub struct FitOptions {
+    /// Atomic checkpoint writer invoked every N optimizer steps.
+    pub checkpointer: Option<Checkpointer>,
+    /// Resume from this checkpoint file before the first step.
+    pub resume_from: Option<PathBuf>,
+    /// Divergence-guard policy.
+    pub guard: GuardPolicy,
+    /// Chaos hook: stop (as if killed) right after this global optimizer
+    /// step, leaving the last checkpoint on disk.
+    pub halt_after_step: Option<u64>,
+    /// Chaos hook: poison the gradients with NaN at these global steps
+    /// (1-based), exercising the guard policy deterministically.
+    pub fault_steps: Vec<u64>,
+}
+
+impl FitOptions {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Write an atomic checkpoint to `path` every `every_n_steps`
+    /// optimizer steps.
+    pub fn checkpoint_every(mut self, path: impl Into<PathBuf>, every_n_steps: u64) -> Self {
+        self.checkpointer = Some(Checkpointer::new(path, every_n_steps));
+        self
+    }
+
+    /// Resume training from a checkpoint written by a previous run.
+    pub fn resume_from(mut self, path: impl Into<PathBuf>) -> Self {
+        self.resume_from = Some(path.into());
+        self
+    }
+
+    /// Set the divergence-guard policy.
+    pub fn guard(mut self, policy: GuardPolicy) -> Self {
+        self.guard = policy;
+        self
+    }
+
+    /// Chaos hook: simulate a kill right after global step `step`.
+    pub fn halt_after_step(mut self, step: u64) -> Self {
+        self.halt_after_step = Some(step);
+        self
+    }
+
+    /// Chaos hook: inject a non-finite gradient at each listed global step.
+    pub fn inject_nonfinite_at(mut self, steps: &[u64]) -> Self {
+        self.fault_steps = steps.to_vec();
+        self
+    }
 }
 
 /// One training step over a single table. Accumulates gradients into the
@@ -97,7 +195,7 @@ fn train_table(
         .max(1);
     let inv = 1.0 / visible as f32;
     let (w0, w1) = if config.use_mask_task {
-        (model.uw.weight(0), model.uw.weight(1))
+        (model.uw.weight(Task::Dmlm), model.uw.weight(Task::Classify))
     } else {
         (0.0, 1.0)
     };
@@ -229,6 +327,206 @@ pub fn train(
     train_tables: &[PreparedTable],
     val_tables: &[PreparedTable],
 ) -> TrainReport {
+    train_with(
+        model,
+        config,
+        train_tables,
+        val_tables,
+        &FitOptions::default(),
+        &Tracer::disabled(),
+    )
+    .expect("training without checkpoint I/O cannot fail")
+}
+
+// ---- loop-state codec (checkpoint `extra` section) ------------------------
+//
+// Everything the outer loop mutates that is NOT model/optimizer/RNG state
+// lives here, so a mid-epoch resume replays bit-identically: the epoch
+// shuffle order, the f32 loss accumulator (exact bits), and the
+// early-stopping bookkeeping including the serialized best-epoch weights.
+
+struct LoopState {
+    epoch: u64,
+    /// Next chunk index within the epoch (the saved step completed
+    /// `chunk - 1`).
+    chunk: u64,
+    global_step: u64,
+    consecutive_bad: u64,
+    bad_epochs: u64,
+    n_tables: u64,
+    epoch_loss: f32,
+    best_acc: f64,
+    order: Vec<usize>,
+    best_blob: Option<Vec<u8>>,
+    report: TrainReport,
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f32(buf: &mut Vec<u8>, v: f32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Bounds-checked little-endian reader; every short read is a typed
+/// [`CheckpointError::Truncated`] instead of a slice panic.
+struct Reader<'a>(&'a [u8]);
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], CheckpointError> {
+        if self.0.len() < n {
+            return Err(CheckpointError::Truncated);
+        }
+        let (head, tail) = self.0.split_at(n);
+        self.0 = tail;
+        Ok(head)
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f32(&mut self) -> Result<f32, CheckpointError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, CheckpointError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+impl LoopState {
+    fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, self.epoch);
+        put_u64(&mut buf, self.chunk);
+        put_u64(&mut buf, self.global_step);
+        put_u64(&mut buf, self.consecutive_bad);
+        put_u64(&mut buf, self.bad_epochs);
+        put_u64(&mut buf, self.n_tables);
+        put_f32(&mut buf, self.epoch_loss);
+        put_f64(&mut buf, self.best_acc);
+        put_u64(&mut buf, self.order.len() as u64);
+        for &i in &self.order {
+            put_u64(&mut buf, i as u64);
+        }
+        match &self.best_blob {
+            Some(blob) => {
+                put_u64(&mut buf, 1 + blob.len() as u64);
+                buf.extend_from_slice(blob);
+            }
+            None => put_u64(&mut buf, 0),
+        }
+        let r = &self.report;
+        put_u64(&mut buf, r.best_epoch as u64);
+        put_u64(&mut buf, r.nonfinite_steps);
+        put_u64(&mut buf, r.rollbacks);
+        put_u64(&mut buf, r.epoch_loss.len() as u64);
+        for &l in &r.epoch_loss {
+            put_f32(&mut buf, l);
+        }
+        put_u64(&mut buf, r.val_accuracy.len() as u64);
+        for &a in &r.val_accuracy {
+            put_f64(&mut buf, a);
+        }
+        put_u64(&mut buf, r.sigma_trajectory.len() as u64);
+        for &(s0, s1) in &r.sigma_trajectory {
+            put_f32(&mut buf, s0);
+            put_f32(&mut buf, s1);
+        }
+        buf
+    }
+
+    fn decode(blob: &[u8]) -> Result<Self, CheckpointError> {
+        let mut r = Reader(blob);
+        let epoch = r.u64()?;
+        let chunk = r.u64()?;
+        let global_step = r.u64()?;
+        let consecutive_bad = r.u64()?;
+        let bad_epochs = r.u64()?;
+        let n_tables = r.u64()?;
+        let epoch_loss = r.f32()?;
+        let best_acc = r.f64()?;
+        let n_order = r.u64()? as usize;
+        let mut order = Vec::with_capacity(n_order);
+        for _ in 0..n_order {
+            order.push(r.u64()? as usize);
+        }
+        let blob_tag = r.u64()?;
+        let best_blob = if blob_tag == 0 {
+            None
+        } else {
+            Some(r.take(blob_tag as usize - 1)?.to_vec())
+        };
+        let mut report = TrainReport {
+            best_epoch: r.u64()? as usize,
+            nonfinite_steps: r.u64()?,
+            rollbacks: r.u64()?,
+            ..TrainReport::default()
+        };
+        for _ in 0..r.u64()? {
+            report.epoch_loss.push(r.f32()?);
+        }
+        for _ in 0..r.u64()? {
+            report.val_accuracy.push(r.f64()?);
+        }
+        for _ in 0..r.u64()? {
+            report.sigma_trajectory.push((r.f32()?, r.f32()?));
+        }
+        Ok(LoopState {
+            epoch,
+            chunk,
+            global_step,
+            consecutive_bad,
+            bad_epochs,
+            n_tables,
+            epoch_loss,
+            best_acc,
+            order,
+            best_blob,
+            report,
+        })
+    }
+}
+
+/// Poison one gradient with NaN (deterministic, RNG-free) — the chaos
+/// harness's stand-in for numerical divergence.
+fn poison_one_grad(model: &mut dyn HasParams) {
+    let mut done = false;
+    model.visit_params(&mut |p| {
+        if !done {
+            if let Some(g) = p.grad.data_mut().first_mut() {
+                *g = f32::NAN;
+                done = true;
+            }
+        }
+    });
+}
+
+/// [`train`] plus crash safety: periodic atomic checkpoints, resume, and
+/// divergence guards per [`FitOptions`].
+///
+/// Determinism contract: for a fixed `(config, tables, options.guard,
+/// options.fault_steps)`, killing the run after any step (via
+/// [`FitOptions::halt_after_step`] or an actual crash) and resuming from
+/// the last checkpoint produces **bit-identical** final parameters to the
+/// uninterrupted run. Checkpoints capture the exact RNG stream position,
+/// the epoch shuffle order, and every accumulator the loop mutates, and
+/// re-running the steps between the checkpoint and the kill point is pure
+/// replay.
+pub fn train_with(
+    model: &mut KgLinkModel,
+    config: &KgLinkConfig,
+    train_tables: &[PreparedTable],
+    val_tables: &[PreparedTable],
+    options: &FitOptions,
+    tracer: &Tracer,
+) -> Result<TrainReport, KgLinkError> {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let batch = config.batch_size.max(1);
     let steps_per_epoch = train_tables.len().div_ceil(batch);
@@ -242,24 +540,151 @@ pub fn train(
     let mut best_acc = f64::NEG_INFINITY;
     let mut best_blob: Option<Vec<u8>> = None;
     let mut bad_epochs = 0usize;
+    let mut consecutive_bad = 0usize;
+    let mut global_step = 0u64;
+    let mut epoch_loss = 0.0f32;
+    let mut n_tables = 0usize;
     let mut order: Vec<usize> = (0..train_tables.len()).collect();
-    for epoch in 0..config.epochs {
-        order.shuffle(&mut rng);
-        let mut epoch_loss = 0.0f32;
-        let mut n_tables = 0usize;
-        for chunk in order.chunks(batch) {
+    let mut epoch = 0usize;
+    let mut start_chunk = 0usize;
+    let mut mid_epoch = false;
+
+    if let Some(path) = &options.resume_from {
+        let ckpt = Checkpointer::load(path).map_err(KgLinkError::Checkpoint)?;
+        ckpt.restore(model).map_err(KgLinkError::Checkpoint)?;
+        opt.set_steps(ckpt.opt_step as usize);
+        rng = StdRng::from_state(ckpt.rng_state);
+        let state = LoopState::decode(&ckpt.extra).map_err(KgLinkError::Checkpoint)?;
+        epoch = state.epoch as usize;
+        start_chunk = state.chunk as usize;
+        global_step = state.global_step;
+        consecutive_bad = state.consecutive_bad as usize;
+        bad_epochs = state.bad_epochs as usize;
+        n_tables = state.n_tables as usize;
+        epoch_loss = state.epoch_loss;
+        best_acc = state.best_acc;
+        order = state.order;
+        best_blob = state.best_blob;
+        report = state.report;
+        report.resumed_from_step = Some(ckpt.step);
+        mid_epoch = true;
+        tracer.incr("train.resume", 1);
+        tracer.event_with(
+            "train.resume",
+            vec![("step", ckpt.step.to_string()), ("epoch", epoch.to_string())],
+        );
+    }
+
+    // Rollback target: the last durable checkpoint, or the (possibly
+    // resumed) starting state before any step is taken.
+    let mut last_good: (Vec<u8>, usize) = (
+        kglink_nn::checkpoint::save_train_state(model).to_vec(),
+        opt.steps(),
+    );
+
+    'epochs: while epoch < config.epochs {
+        if !mid_epoch {
+            order.shuffle(&mut rng);
+            epoch_loss = 0.0;
+            n_tables = 0;
+            start_chunk = 0;
+        }
+        mid_epoch = false;
+        let n_chunks = order.len().div_ceil(batch);
+        for ci in start_chunk..n_chunks {
+            let chunk = &order[ci * batch..((ci + 1) * batch).min(order.len())];
+            let mut chunk_loss = 0.0f32;
             for &ti in chunk {
                 let (ce, dm) = train_table(model, config, &train_tables[ti], &mut rng);
                 let (w0, w1) = if config.use_mask_task {
-                    (model.uw.weight(0), model.uw.weight(1))
+                    (model.uw.weight(Task::Dmlm), model.uw.weight(Task::Classify))
                 } else {
                     (0.0, 1.0)
                 };
-                epoch_loss += w0 * dm + w1 * ce;
+                chunk_loss += w0 * dm + w1 * ce;
                 n_tables += 1;
             }
+            global_step += 1;
+            if options.fault_steps.contains(&global_step) {
+                poison_one_grad(model);
+                chunk_loss = f32::NAN;
+            }
             model.scale_grads(1.0 / chunk.len() as f32);
-            opt.step(model);
+            let finite = chunk_loss.is_finite() && model.grad_norm().is_finite();
+            if finite {
+                consecutive_bad = 0;
+                epoch_loss += chunk_loss;
+                opt.step(model);
+            } else {
+                report.nonfinite_steps += 1;
+                tracer.incr("train.nonfinite", 1);
+                tracer.event_with(
+                    "train.nonfinite",
+                    vec![("step", global_step.to_string())],
+                );
+                match options.guard {
+                    GuardPolicy::Off => {
+                        // Pre-guard behavior: apply the poisoned step.
+                        epoch_loss += chunk_loss;
+                        opt.step(model);
+                    }
+                    GuardPolicy::SkipStep => {
+                        model.zero_grads();
+                        consecutive_bad += 1;
+                    }
+                    GuardPolicy::Rollback { max_consecutive } => {
+                        model.zero_grads();
+                        consecutive_bad += 1;
+                        if consecutive_bad >= max_consecutive.max(1) {
+                            load_train_state(model, &last_good.0)
+                                .expect("restoring own snapshot cannot fail");
+                            opt.set_steps(last_good.1);
+                            consecutive_bad = 0;
+                            report.rollbacks += 1;
+                            tracer.incr("train.rollback", 1);
+                            tracer.event_with(
+                                "train.rollback",
+                                vec![
+                                    ("step", global_step.to_string()),
+                                    ("to_opt_step", last_good.1.to_string()),
+                                ],
+                            );
+                        }
+                    }
+                }
+            }
+            if let Some(cp) = &options.checkpointer {
+                if cp.is_due(global_step) {
+                    let state = LoopState {
+                        epoch: epoch as u64,
+                        chunk: (ci + 1) as u64,
+                        global_step,
+                        consecutive_bad: consecutive_bad as u64,
+                        bad_epochs: bad_epochs as u64,
+                        n_tables: n_tables as u64,
+                        epoch_loss,
+                        best_acc,
+                        order: order.clone(),
+                        best_blob: best_blob.clone(),
+                        report: report.clone(),
+                    };
+                    let ckpt = TrainCheckpoint::capture(
+                        model,
+                        opt.steps() as u64,
+                        rng.state(),
+                        epoch as u64,
+                        global_step,
+                        state.encode(),
+                    );
+                    cp.save(&ckpt).map_err(KgLinkError::Checkpoint)?;
+                    last_good = (ckpt.train_state.to_vec(), opt.steps());
+                    tracer.incr("train.checkpoint", 1);
+                }
+            }
+            if options.halt_after_step == Some(global_step) {
+                report.halted = true;
+                return Ok(report);
+            }
         }
         report
             .epoch_loss
@@ -282,17 +707,18 @@ pub fn train(
             } else {
                 bad_epochs += 1;
                 if config.patience > 0 && bad_epochs >= config.patience {
-                    break;
+                    break 'epochs;
                 }
             }
         } else {
             report.best_epoch = epoch;
         }
+        epoch += 1;
     }
     if let Some(blob) = best_blob {
         load_params(model, &blob).expect("restoring own weights cannot fail");
     }
-    report
+    Ok(report)
 }
 
 #[cfg(test)]

@@ -21,6 +21,7 @@
 //!   feature sequences) trivially correct.
 //! * Everything is deterministic under a seed.
 
+pub mod checkpoint;
 pub mod encoder;
 pub mod layers;
 pub mod loss;
@@ -31,9 +32,10 @@ pub mod serialize;
 pub mod tensor;
 pub mod tokenizer;
 
+pub use checkpoint::{CheckpointError, Checkpointer, TrainCheckpoint};
 pub use encoder::{Encoder, EncoderCache, EncoderConfig};
 pub use layers::param::Param;
-pub use loss::{cross_entropy, dmlm_loss, UncertaintyWeights};
+pub use loss::{cross_entropy, dmlm_loss, Task, UncertaintyWeights};
 pub use mlm::{MlmHead, MlmPretrainConfig, MlmPretrainer};
 pub use optim::{AdamW, AdamWConfig, LinearDecay};
 pub use tensor::Tensor;

@@ -49,6 +49,18 @@ pub fn dmlm_loss(student_logits: &[f32], teacher_logits: &[f32], temperature: f3
     (loss, grad)
 }
 
+/// The two KGLink training tasks whose losses the uncertainty weighting
+/// combines (Eq. 17). Using an enum instead of a raw index makes "which
+/// task?" a compile-time question — there is no third variant to pass, so
+/// the old `panic!("two tasks only")` guard is unrepresentable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Task {
+    /// DMLM distillation (Eq. 13–14); weighted by `σ0`.
+    Dmlm,
+    /// Column-type classification cross-entropy (Eq. 16); weighted by `σ1`.
+    Classify,
+}
+
 /// Kendall-style uncertainty weighting of the two KGLink tasks (Eq. 17):
 ///
 /// `L_total = 1/(2σ0²) L_DMLM + 1/(2σ1²) L_CE + log σ0 σ1`
@@ -90,13 +102,12 @@ impl UncertaintyWeights {
         (self.s0.value.data()[0], self.s1.value.data()[0])
     }
 
-    /// Multiplier applied to task `i`'s loss (and its gradient):
+    /// Multiplier applied to the task's loss (and its gradient):
     /// `½ e^{-s_i}`.
-    pub fn weight(&self, task: usize) -> f32 {
+    pub fn weight(&self, task: Task) -> f32 {
         let s = match task {
-            0 => self.s0.value.data()[0],
-            1 => self.s1.value.data()[0],
-            _ => panic!("two tasks only"),
+            Task::Dmlm => self.s0.value.data()[0],
+            Task::Classify => self.s1.value.data()[0],
         };
         0.5 * (-s).exp()
     }
@@ -228,7 +239,7 @@ mod tests {
     #[test]
     fn weight_halves_exp_neg_s() {
         let uw = UncertaintyWeights::fixed(0.0, 2.0f32.ln());
-        assert!((uw.weight(0) - 0.5).abs() < 1e-6);
-        assert!((uw.weight(1) - 0.25).abs() < 1e-6);
+        assert!((uw.weight(Task::Dmlm) - 0.5).abs() < 1e-6);
+        assert!((uw.weight(Task::Classify) - 0.25).abs() < 1e-6);
     }
 }

@@ -73,6 +73,12 @@ impl AdamW {
         self.step
     }
 
+    /// Restore the step counter from a checkpoint so the bias correction
+    /// and LR schedule continue exactly where the interrupted run stopped.
+    pub fn set_steps(&mut self, steps: usize) {
+        self.step = steps;
+    }
+
     /// Current effective learning rate.
     pub fn current_lr(&self) -> f32 {
         let base = self.config.lr;

@@ -19,7 +19,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 const MAGIC: &[u8; 4] = b"KGLW";
 
 /// Serialization failures.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LoadError {
     BadMagic,
     Truncated,

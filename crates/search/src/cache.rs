@@ -28,7 +28,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 const NIL: usize = usize::MAX;
 
@@ -313,7 +313,11 @@ impl<B: KgBackend> CachingBackend<B> {
             misses: self.misses.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
-            entries: self.shards.iter().map(|s| s.lock().unwrap().len()).sum(),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).len())
+                .sum(),
             capacity: self.capacity,
         }
     }
@@ -328,7 +332,15 @@ impl<B: KgBackend> KgBackend for CachingBackend<B> {
     ) -> Result<SearchOutcome, RetrievalError> {
         let key = (normalize_mention(query), top_k);
         let shard = self.shard_for(&key);
-        if let Some(entry) = shard.lock().unwrap().get(&key) {
+        // Shard locks are never held across the inner backend call, so a
+        // panicking backend cannot poison them mid-mutation; any poison
+        // came from a panic elsewhere on a worker's stack, and the LRU is
+        // consistent at every lock release. Recover instead of cascading.
+        if let Some(entry) = shard
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+        {
             self.hits.fetch_add(1, Ordering::Relaxed);
             self.tracer.incr("cache.hit", 1);
             return Ok(SearchOutcome {
@@ -348,7 +360,12 @@ impl<B: KgBackend> KgBackend for CachingBackend<B> {
             hits: outcome.hits.clone(),
             truncated: outcome.truncated,
         };
-        if shard.lock().unwrap().put(key, entry).is_some() {
+        if shard
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .put(key, entry)
+            .is_some()
+        {
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
         self.insertions.fetch_add(1, Ordering::Relaxed);

@@ -35,7 +35,7 @@ pub use cache::{normalize_mention, CacheConfig, CacheStats, CachingBackend, Lru}
 pub use index::{DocId, InvertedIndex, SearchHit};
 pub use resilience::{
     backoff_delay_us, breaker_state_name, BreakerConfig, BreakerState, CircuitBreaker, FaultConfig,
-    FaultyBackend, MetricsSnapshot, ResilienceConfig, ResilientBackend,
+    FaultyBackend, MetricsSnapshot, PanickingBackend, ResilienceConfig, ResilientBackend,
 };
 pub use searcher::EntitySearcher;
 pub use tokenize::tokenize;

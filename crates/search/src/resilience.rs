@@ -21,7 +21,7 @@ use crate::backend::{Deadline, KgBackend, RetrievalError, SearchOutcome};
 use kglink_obs::{Histogram, Tracer};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// splitmix64 over `seed ^ salt` — one deterministic draw per decision.
 fn mix(seed: u64, salt: u64) -> u64 {
@@ -175,6 +175,61 @@ impl<B: KgBackend> KgBackend for FaultyBackend<B> {
             outcome.truncated = true;
         }
         Ok(outcome)
+    }
+}
+
+/// A [`KgBackend`] decorator that *panics* on every `every`-th call
+/// (1-based): call numbers `every`, `2·every`, … unwind instead of
+/// returning. This is the crash-chaos counterpart of [`FaultyBackend`] —
+/// where that injects *errors* a resilient caller can handle in-band, this
+/// injects the failure mode that escapes the `Result` channel entirely, so
+/// serving layers can prove their panic isolation (completion-on-drop
+/// ticket guards, worker supervision, poisoned-lock recovery).
+///
+/// Deterministic: the panic schedule depends only on the call index, so a
+/// fixed request sequence always panics at the same points.
+#[derive(Debug)]
+pub struct PanickingBackend<B> {
+    inner: B,
+    every: u64,
+    calls: AtomicU64,
+}
+
+impl<B: KgBackend> PanickingBackend<B> {
+    /// Panic on every `every`-th call. Panics immediately if `every == 0`
+    /// (a schedule that never fires would silently test nothing).
+    pub fn new(inner: B, every: u64) -> Self {
+        assert!(every > 0, "panic interval must be at least 1");
+        PanickingBackend {
+            inner,
+            every,
+            calls: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of calls observed so far (including the panicking ones).
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// How many calls have panicked so far.
+    pub fn panics(&self) -> u64 {
+        self.calls() / self.every
+    }
+}
+
+impl<B: KgBackend> KgBackend for PanickingBackend<B> {
+    fn search_entities(
+        &self,
+        query: &str,
+        top_k: usize,
+        deadline: Deadline,
+    ) -> Result<SearchOutcome, RetrievalError> {
+        let n = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
+        if n.is_multiple_of(self.every) {
+            panic!("injected panic on backend call {n}");
+        }
+        self.inner.search_entities(query, top_k, deadline)
     }
 }
 
@@ -493,14 +548,24 @@ impl<B: KgBackend> ResilientBackend<B> {
         &self.config
     }
 
+    /// Acquire the state lock, recovering from poison. Unlike the other
+    /// decorators, this one *does* hold its lock across the inner backend
+    /// call, so a panicking inner backend genuinely poisons it. The state
+    /// is still re-validatable: the clock, counters, and breaker window
+    /// are all updated before or after the inner call, never left
+    /// half-written across it, so the recovered guard is consistent.
+    fn lock_state(&self) -> MutexGuard<'_, ResilientState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Current simulated time.
     pub fn clock_us(&self) -> u64 {
-        self.state.lock().unwrap().clock_us
+        self.lock_state().clock_us
     }
 
     /// Snapshot of the metrics ledger.
     pub fn metrics(&self) -> MetricsSnapshot {
-        let state = self.state.lock().unwrap();
+        let state = self.lock_state();
         MetricsSnapshot {
             queries: state.queries,
             successes: state.successes,
@@ -534,9 +599,7 @@ impl<B: KgBackend> ResilientBackend<B> {
 
     /// Current breaker state (for tests and diagnostics).
     pub fn breaker_state(&self) -> BreakerState {
-        self.state
-            .lock()
-            .unwrap()
+        self.lock_state()
             .breaker
             .as_ref()
             .map_or(BreakerState::Closed, |b| b.state())
@@ -550,7 +613,7 @@ impl<B: KgBackend> KgBackend for ResilientBackend<B> {
         top_k: usize,
         deadline: Deadline,
     ) -> Result<SearchOutcome, RetrievalError> {
-        let mut state = self.state.lock().unwrap();
+        let mut state = self.lock_state();
         let state = &mut *state;
         state.queries += 1;
         let query_index = state.queries - 1;

@@ -20,6 +20,15 @@ pub enum ServiceError {
     Shed,
     /// The service shut down before the request was processed.
     Closed,
+    /// The worker thread serving this request panicked. The panic was
+    /// isolated: the ticket's completion-on-drop guard delivered this
+    /// error instead of leaving the caller blocked forever, and the
+    /// supervisor respawns the worker (within its restart budget).
+    WorkerPanicked,
+    /// Every worker died and the supervisor's restart budget is spent:
+    /// the service can no longer make progress, so queued and future
+    /// requests fail with this instead of hanging.
+    RestartBudgetExhausted { budget: usize },
     /// The underlying annotation pipeline failed.
     Pipeline(KgLinkError),
 }
@@ -36,6 +45,13 @@ impl fmt::Display for ServiceError {
             ),
             ServiceError::Shed => write!(f, "request shed by a newer arrival under backpressure"),
             ServiceError::Closed => write!(f, "service closed before the request completed"),
+            ServiceError::WorkerPanicked => {
+                write!(f, "the worker serving this request panicked")
+            }
+            ServiceError::RestartBudgetExhausted { budget } => write!(
+                f,
+                "all workers dead and the restart budget ({budget}) is exhausted"
+            ),
             ServiceError::Pipeline(e) => write!(f, "annotation failed: {e}"),
         }
     }

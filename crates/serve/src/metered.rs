@@ -16,7 +16,7 @@ use crate::service::SharedBackend;
 use kglink_obs::Histogram;
 use kglink_search::{Deadline, KgBackend, MetricsSnapshot, RetrievalError, SearchOutcome};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Counts and times every retrieval a worker performs.
 pub struct MeteredBackend {
@@ -60,7 +60,13 @@ impl MeteredBackend {
             retries: 0,
             breaker_trips: 0,
             truncated: self.truncated.load(Ordering::Relaxed),
-            latency: self.latency.lock().expect("latency lock poisoned").clone(),
+            // A histogram is re-validatable state: recover from a panicked
+            // sibling's poison rather than lose the whole snapshot.
+            latency: self
+                .latency
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone(),
         }
     }
 }
@@ -83,7 +89,7 @@ impl KgBackend for MeteredBackend {
                     .fetch_add(outcome.latency_us, Ordering::Relaxed);
                 self.latency
                     .lock()
-                    .expect("latency lock poisoned")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .record(outcome.latency_us);
                 Ok(outcome)
             }

@@ -48,6 +48,15 @@ pub struct ServiceMetrics {
     pub latency_p50_us: u64,
     /// p99 end-to-end request latency, µs.
     pub latency_p99_us: u64,
+    /// Requests whose worker panicked mid-annotation; each produced a
+    /// typed [`WorkerPanicked`](crate::ServiceError::WorkerPanicked) reply,
+    /// never a hung ticket.
+    pub worker_panics: u64,
+    /// Workers the supervisor respawned after a panic.
+    pub worker_restarts: u64,
+    /// Workers currently alive (spawned minus cleanly-exited minus dead
+    /// beyond the restart budget).
+    pub workers_alive: usize,
     /// Simulated busy-time per worker, µs (retrieval latency + modeled
     /// per-column annotation cost).
     pub sim_busy_us: Vec<u64>,
@@ -110,6 +119,11 @@ impl fmt::Display for ServiceMetrics {
             f,
             "annotation: columns={} degraded={} failed_cells={}",
             self.annotated_columns, self.degraded_columns, self.failed_cells
+        )?;
+        writeln!(
+            f,
+            "supervision: panics={} restarts={} workers_alive={}",
+            self.worker_panics, self.worker_restarts, self.workers_alive
         )?;
         writeln!(
             f,

@@ -15,9 +15,17 @@
 //! Workers drain with [`BoundedQueue::pop_batch`], which removes up to
 //! `max_batch` items per wakeup — the micro-batching lever: one lock
 //! acquisition and one worker wakeup amortized over several tables.
+//!
+//! Poisoning: a worker that panics *while annotating* never holds the
+//! queue lock (all critical sections here are pure `VecDeque` + counter
+//! arithmetic, which cannot unwind), but a panic elsewhere on a thread's
+//! stack still marks the `Mutex` poisoned. The queue state is always
+//! internally consistent at lock-release, so every acquisition recovers
+//! the guard with [`PoisonError::into_inner`] instead of propagating the
+//! poison — one crashed worker must not take the whole front door down.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 /// What to do with a new request when the queue is at capacity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,14 +86,25 @@ impl<T> BoundedQueue<T> {
         self.capacity
     }
 
+    /// Acquire the state lock, recovering from poison (see module docs:
+    /// the state is re-validatable, so a poisoned lock is survivable).
+    fn lock_state(&self) -> MutexGuard<'_, QueueState<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Current number of queued items.
     pub fn depth(&self) -> usize {
-        self.state.lock().expect("queue lock poisoned").items.len()
+        self.lock_state().items.len()
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.lock_state().closed
     }
 
     /// (admitted, shed) lifetime counters.
     pub fn counters(&self) -> (u64, u64) {
-        let s = self.state.lock().expect("queue lock poisoned");
+        let s = self.lock_state();
         (s.admitted, s.shed)
     }
 
@@ -93,7 +112,7 @@ impl<T> BoundedQueue<T> {
     /// `Ok(Some(victim))` means enqueued by shedding the returned oldest
     /// item; `Err` means the item was not admitted.
     pub fn push(&self, item: T, policy: AdmissionPolicy) -> Result<Option<T>, PushError> {
-        let mut state = self.state.lock().expect("queue lock poisoned");
+        let mut state = self.lock_state();
         if state.closed {
             return Err(PushError::Closed);
         }
@@ -111,7 +130,7 @@ impl<T> BoundedQueue<T> {
                         state = self
                             .not_full
                             .wait(state)
-                            .expect("queue lock poisoned");
+                            .unwrap_or_else(PoisonError::into_inner);
                     }
                     if state.closed {
                         return Err(PushError::Closed);
@@ -137,12 +156,12 @@ impl<T> BoundedQueue<T> {
     /// closed *and* fully drained — the worker's signal to exit.
     pub fn pop_batch(&self, max_batch: usize) -> Vec<T> {
         let max_batch = max_batch.max(1);
-        let mut state = self.state.lock().expect("queue lock poisoned");
+        let mut state = self.lock_state();
         while state.items.is_empty() && !state.closed {
             state = self
                 .not_empty
                 .wait(state)
-                .expect("queue lock poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
         }
         let take = state.items.len().min(max_batch);
         let batch: Vec<T> = state.items.drain(..take).collect();
@@ -156,10 +175,33 @@ impl<T> BoundedQueue<T> {
         batch
     }
 
+    /// Put already-admitted items back at the *front* of the queue in
+    /// order (index 0 becomes the next item popped). Used by the worker
+    /// panic path: the rest of a micro-batch goes back for a sibling (or
+    /// the respawned worker) to pick up, ahead of newer arrivals.
+    /// Capacity is intentionally not enforced — these items already passed
+    /// admission once. Returns the items unchanged if the queue closed in
+    /// the meantime, so the caller can fail them explicitly.
+    pub fn requeue_front(&self, items: Vec<T>) -> Result<(), Vec<T>> {
+        if items.is_empty() {
+            return Ok(());
+        }
+        let mut state = self.lock_state();
+        if state.closed {
+            return Err(items);
+        }
+        for item in items.into_iter().rev() {
+            state.items.push_front(item);
+        }
+        drop(state);
+        self.not_empty.notify_all();
+        Ok(())
+    }
+
     /// Close the queue and return everything still queued, so the caller
     /// can fail those requests explicitly rather than dropping them.
     pub fn close(&self) -> Vec<T> {
-        let mut state = self.state.lock().expect("queue lock poisoned");
+        let mut state = self.lock_state();
         state.closed = true;
         let leftovers: Vec<T> = state.items.drain(..).collect();
         drop(state);
@@ -208,6 +250,44 @@ mod tests {
         }
         assert_eq!(q.pop_batch(3), vec![0, 1, 2]);
         assert_eq!(q.pop_batch(3), vec![3, 4]);
+    }
+
+    #[test]
+    fn requeue_front_restores_fifo_order_ahead_of_queued_items() {
+        let q = BoundedQueue::new(2);
+        q.push(10, AdmissionPolicy::Reject).unwrap();
+        q.push(11, AdmissionPolicy::Reject).unwrap();
+        // Requeue past capacity: already-admitted items are never dropped.
+        q.requeue_front(vec![1, 2, 3]).unwrap();
+        assert_eq!(q.depth(), 5);
+        assert_eq!(q.pop_batch(8), vec![1, 2, 3, 10, 11]);
+        // After close, requeue hands the items back for explicit failure.
+        assert!(!q.is_closed());
+        q.close();
+        assert!(q.is_closed());
+        assert_eq!(q.requeue_front(vec![7, 8]), Err(vec![7, 8]));
+        assert_eq!(q.requeue_front(Vec::<i32>::new()), Ok(()));
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_instead_of_cascading() {
+        let q = Arc::new(BoundedQueue::new(4));
+        q.push(1, AdmissionPolicy::Reject).unwrap();
+        // Poison the mutex: panic while holding the guard on another thread.
+        let poisoner = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let _guard = q.state.lock().unwrap();
+                panic!("deliberate poison");
+            })
+        };
+        assert!(poisoner.join().is_err());
+        assert!(q.state.is_poisoned());
+        // Every operation still works on the recovered state.
+        assert_eq!(q.depth(), 1);
+        q.push(2, AdmissionPolicy::Reject).unwrap();
+        assert_eq!(q.pop_batch(8), vec![1, 2]);
+        assert!(q.close().is_empty());
     }
 
     #[test]

@@ -26,15 +26,16 @@ use crate::error::ServiceError;
 use crate::metered::MeteredBackend;
 use crate::metrics::ServiceMetrics;
 use crate::queue::{AdmissionPolicy, BoundedQueue, PushError};
-use crate::worker::{self, WorkerContext};
+use crate::worker::{self, WorkerContext, WorkerExit};
 use kglink_core::KgLink;
 use kglink_kg::KnowledgeGraph;
 use kglink_nn::Tokenizer;
 use kglink_obs::{Histogram, Tracer};
 use kglink_search::{CacheConfig, CachingBackend, Deadline, KgBackend, MetricsSnapshot};
 use kglink_table::{LabelId, Table};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -65,6 +66,11 @@ pub struct ServiceConfig {
     /// simulated retrieval latency this yields the per-worker busy-time
     /// that scaling experiments measure.
     pub sim_col_cost_us: u64,
+    /// Total worker respawns the supervisor may perform over the service's
+    /// lifetime (pool-wide, not per worker). When every worker is dead and
+    /// the budget is spent, queued and future requests fail with
+    /// [`ServiceError::RestartBudgetExhausted`].
+    pub restart_budget: usize,
     /// Observability sink shared by the cache and every worker: queue-wait
     /// and per-request service spans, plus cache hit/miss counters, land
     /// here. Defaults to [`Tracer::disabled`] (zero overhead).
@@ -83,6 +89,7 @@ impl Default for ServiceConfig {
             default_deadline: Deadline::UNBOUNDED,
             cache: Some(CacheConfig::default()),
             sim_col_cost_us: 2_000,
+            restart_budget: 3,
             tracer: Tracer::disabled(),
         }
     }
@@ -144,6 +151,12 @@ pub(crate) struct Shared {
     pub degraded_columns: AtomicU64,
     pub failed_cells: AtomicU64,
     pub in_flight: AtomicUsize,
+    pub worker_panics: AtomicU64,
+    pub worker_restarts: AtomicU64,
+    pub workers_alive: AtomicUsize,
+    /// Set by the supervisor when every worker is dead and the restart
+    /// budget is spent: the service can no longer make progress.
+    pub failed: AtomicBool,
     pub latency: Mutex<Histogram>,
     /// One slot per worker: simulated busy-time, µs.
     pub sim_busy_us: Vec<AtomicU64>,
@@ -161,9 +174,121 @@ impl Shared {
             degraded_columns: AtomicU64::new(0),
             failed_cells: AtomicU64::new(0),
             in_flight: AtomicUsize::new(0),
+            worker_panics: AtomicU64::new(0),
+            worker_restarts: AtomicU64::new(0),
+            workers_alive: AtomicUsize::new(workers),
+            failed: AtomicBool::new(false),
             latency: Mutex::new(Histogram::new()),
             sim_busy_us: (0..workers).map(|_| AtomicU64::new(0)).collect(),
         }
+    }
+}
+
+/// Everything needed to (re)spawn a worker thread at a given pool index.
+/// The supervisor keeps one of these so a respawned worker is
+/// indistinguishable from the original (same shared state, same meter).
+struct Pool {
+    model: Arc<KgLink>,
+    graph: Arc<KnowledgeGraph>,
+    tokenizer: Arc<Tokenizer>,
+    queue: Arc<BoundedQueue<Request>>,
+    shared: Arc<Shared>,
+    max_batch: usize,
+    sim_col_cost_us: u64,
+    tracer: Tracer,
+}
+
+impl Pool {
+    fn spawn(
+        &self,
+        idx: usize,
+        meter: Arc<MeteredBackend>,
+        exit_tx: mpsc::Sender<(usize, WorkerExit)>,
+    ) -> JoinHandle<()> {
+        let ctx = WorkerContext {
+            idx,
+            model: Arc::clone(&self.model),
+            graph: Arc::clone(&self.graph),
+            tokenizer: Arc::clone(&self.tokenizer),
+            meter,
+            queue: Arc::clone(&self.queue),
+            shared: Arc::clone(&self.shared),
+            max_batch: self.max_batch,
+            sim_col_cost_us: self.sim_col_cost_us,
+            tracer: self.tracer.clone(),
+        };
+        std::thread::Builder::new()
+            .name(format!("kglink-serve-{idx}"))
+            .spawn(move || {
+                // `worker::run` already isolates per-request panics; this
+                // outer net catches anything that unwinds out of the loop
+                // itself so the supervisor always learns how we died.
+                let exit = catch_unwind(AssertUnwindSafe(|| worker::run(ctx)))
+                    .unwrap_or(WorkerExit::Panicked);
+                let _ = exit_tx.send((idx, exit));
+            })
+            .expect("failed to spawn worker thread")
+    }
+}
+
+/// Supervision loop: join each exiting worker, respawn panicked ones while
+/// the pool-wide restart budget lasts, and declare the service failed when
+/// every worker is dead with the budget spent (failing all queued tickets
+/// with a typed error instead of stranding them).
+fn supervise(
+    pool: Pool,
+    meters: Vec<Arc<MeteredBackend>>,
+    restart_budget: usize,
+    exit_tx: mpsc::Sender<(usize, WorkerExit)>,
+    exit_rx: mpsc::Receiver<(usize, WorkerExit)>,
+    mut handles: Vec<Option<JoinHandle<()>>>,
+) {
+    let mut alive = handles.len();
+    let mut restarts_used = 0usize;
+    while alive > 0 {
+        let Ok((idx, exit)) = exit_rx.recv() else {
+            break;
+        };
+        if let Some(handle) = handles[idx].take() {
+            let _ = handle.join();
+        }
+        match exit {
+            WorkerExit::Drained => alive -= 1,
+            WorkerExit::Panicked => {
+                if restarts_used < restart_budget && !pool.queue.is_closed() {
+                    restarts_used += 1;
+                    pool.shared.worker_restarts.fetch_add(1, Ordering::Relaxed);
+                    pool.tracer.incr("worker.restart", 1);
+                    pool.tracer.event_with(
+                        "worker.restart",
+                        vec![
+                            ("worker", idx.to_string()),
+                            ("restarts_used", restarts_used.to_string()),
+                            ("budget", restart_budget.to_string()),
+                        ],
+                    );
+                    handles[idx] = Some(pool.spawn(idx, Arc::clone(&meters[idx]), exit_tx.clone()));
+                } else {
+                    alive -= 1;
+                    // Publish the count before failing leftovers: a caller
+                    // unblocked by those failures must not read a stale
+                    // alive count.
+                    pool.shared.workers_alive.store(alive, Ordering::SeqCst);
+                    if alive == 0 && !pool.queue.is_closed() {
+                        pool.shared.failed.store(true, Ordering::SeqCst);
+                        pool.tracer.incr("worker.pool_failed", 1);
+                        for leftover in pool.queue.close() {
+                            let _ = leftover.reply.send(Err(
+                                ServiceError::RestartBudgetExhausted {
+                                    budget: restart_budget,
+                                },
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        pool.shared.workers_alive.store(alive, Ordering::SeqCst);
     }
 }
 
@@ -175,9 +300,10 @@ pub struct AnnotationService {
     cache: Option<Arc<CachingBackend<SharedBackend>>>,
     admission: AdmissionPolicy,
     default_deadline: Deadline,
+    restart_budget: usize,
     next_id: AtomicU64,
     started: Instant,
-    handles: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
     closed: bool,
 }
 
@@ -204,29 +330,41 @@ impl AnnotationService {
         };
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
         let shared = Arc::new(Shared::new(config.workers));
-        let mut meters = Vec::with_capacity(config.workers);
-        let mut handles = Vec::with_capacity(config.workers);
-        for idx in 0..config.workers {
-            let meter = Arc::new(MeteredBackend::new(effective.clone()));
-            meters.push(Arc::clone(&meter));
-            let ctx = WorkerContext {
-                idx,
-                model: Arc::clone(&model),
-                graph: Arc::clone(&graph),
-                tokenizer: Arc::clone(&tokenizer),
-                meter,
-                queue: Arc::clone(&queue),
-                shared: Arc::clone(&shared),
-                max_batch: config.max_batch.max(1),
-                sim_col_cost_us: config.sim_col_cost_us,
-                tracer: config.tracer.clone(),
-            };
-            let handle = std::thread::Builder::new()
-                .name(format!("kglink-serve-{idx}"))
-                .spawn(move || worker::run(ctx))
-                .expect("failed to spawn worker thread");
-            handles.push(handle);
-        }
+        let meters: Vec<Arc<MeteredBackend>> = (0..config.workers)
+            .map(|_| Arc::new(MeteredBackend::new(effective.clone())))
+            .collect();
+        let pool = Pool {
+            model,
+            graph,
+            tokenizer,
+            queue: Arc::clone(&queue),
+            shared: Arc::clone(&shared),
+            max_batch: config.max_batch.max(1),
+            sim_col_cost_us: config.sim_col_cost_us,
+            tracer: config.tracer.clone(),
+        };
+        // Admission-only mode (`workers == 0`) needs no worker threads and
+        // therefore no supervisor either.
+        let supervisor = if config.workers > 0 {
+            let (exit_tx, exit_rx) = mpsc::channel();
+            let handles: Vec<Option<JoinHandle<()>>> = meters
+                .iter()
+                .enumerate()
+                .map(|(idx, meter)| Some(pool.spawn(idx, Arc::clone(meter), exit_tx.clone())))
+                .collect();
+            let sup_meters = meters.clone();
+            let restart_budget = config.restart_budget;
+            Some(
+                std::thread::Builder::new()
+                    .name("kglink-serve-supervisor".to_string())
+                    .spawn(move || {
+                        supervise(pool, sup_meters, restart_budget, exit_tx, exit_rx, handles)
+                    })
+                    .expect("failed to spawn supervisor thread"),
+            )
+        } else {
+            None
+        };
         AnnotationService {
             queue,
             shared,
@@ -234,9 +372,10 @@ impl AnnotationService {
             cache,
             admission: config.admission,
             default_deadline: config.default_deadline,
+            restart_budget: config.restart_budget,
             next_id: AtomicU64::new(0),
             started: Instant::now(),
-            handles,
+            supervisor,
             closed: false,
         }
     }
@@ -256,6 +395,11 @@ impl AnnotationService {
         table: Table,
         deadline: Deadline,
     ) -> Result<Ticket, ServiceError> {
+        if self.shared.failed.load(Ordering::SeqCst) {
+            return Err(ServiceError::RestartBudgetExhausted {
+                budget: self.restart_budget,
+            });
+        }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = mpsc::channel();
         let request = Request {
@@ -313,7 +457,9 @@ impl AnnotationService {
             .shared
             .latency
             .lock()
-            .expect("latency lock poisoned")
+            // The histogram is always internally consistent; recover from a
+            // panicked worker's poison rather than fail the metrics read.
+            .unwrap_or_else(PoisonError::into_inner)
             .clone();
         ServiceMetrics {
             submitted: self.shared.submitted.load(Ordering::Relaxed),
@@ -328,6 +474,9 @@ impl AnnotationService {
             failed_cells: self.shared.failed_cells.load(Ordering::Relaxed),
             latency_p50_us: latency.p50(),
             latency_p99_us: latency.p99(),
+            worker_panics: self.shared.worker_panics.load(Ordering::Relaxed),
+            worker_restarts: self.shared.worker_restarts.load(Ordering::Relaxed),
+            workers_alive: self.shared.workers_alive.load(Ordering::SeqCst),
             sim_busy_us: self
                 .shared
                 .sim_busy_us
@@ -341,8 +490,8 @@ impl AnnotationService {
     }
 
     /// Drain and stop: close the queue, fail still-queued requests with
-    /// [`ServiceError::Closed`], and join every worker. Idempotent; also
-    /// runs on drop.
+    /// [`ServiceError::Closed`], and join the supervisor (which in turn
+    /// joins every worker). Idempotent; also runs on drop.
     pub fn shutdown(&mut self) {
         if self.closed {
             return;
@@ -351,7 +500,7 @@ impl AnnotationService {
         for leftover in self.queue.close() {
             let _ = leftover.reply.send(Err(ServiceError::Closed));
         }
-        for handle in self.handles.drain(..) {
+        if let Some(handle) = self.supervisor.take() {
             let _ = handle.join();
         }
     }

@@ -18,7 +18,19 @@
 //! plus `sim_col_cost_us` per column for the PLM forward pass. The max
 //! over workers is the simulated makespan that scaling experiments
 //! assert on — deterministic, and independent of host core count.
+//!
+//! Panic isolation: each request is annotated inside `catch_unwind`, with
+//! a completion-on-drop [`TicketGuard`] armed *before* any fallible work.
+//! Whatever path the worker takes out of a request — normal completion,
+//! panic in the pipeline, panic in the backend stack — the ticket is
+//! completed exactly once: either with the annotation, or with a typed
+//! [`ServiceError::WorkerPanicked`]. A blocked `wait()` can therefore
+//! never hang on a crashed worker. After a panic the worker requeues the
+//! unserved remainder of its micro-batch at the queue front and exits
+//! with [`WorkerExit::Panicked`], letting the supervisor decide whether
+//! to respawn it.
 
+use crate::error::ServiceError;
 use crate::metered::{ExpiredBackend, MeteredBackend};
 use crate::queue::BoundedQueue;
 use crate::service::{Annotation, Request, Shared};
@@ -28,8 +40,10 @@ use kglink_kg::KnowledgeGraph;
 use kglink_nn::Tokenizer;
 use kglink_obs::Tracer;
 use kglink_search::Deadline;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
-use std::sync::Arc;
+use std::sync::{mpsc, Arc, PoisonError};
 
 /// Everything one worker thread needs, bundled for the spawn closure.
 pub(crate) struct WorkerContext {
@@ -45,21 +59,91 @@ pub(crate) struct WorkerContext {
     pub tracer: Tracer,
 }
 
-pub(crate) fn run(ctx: WorkerContext) {
+/// How a worker thread ended; the supervisor keys its respawn decision on
+/// this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WorkerExit {
+    /// The queue closed and drained: clean shutdown.
+    Drained,
+    /// A request panicked; the rest of the batch was requeued.
+    Panicked,
+}
+
+/// Completion-on-drop guard for one ticket. Armed before any fallible
+/// work; if it is dropped without [`complete`](Self::complete) — panic
+/// unwind, early return, any exit path — the waiting caller receives a
+/// typed [`ServiceError::WorkerPanicked`] instead of hanging forever on a
+/// channel whose sender died.
+struct TicketGuard {
+    reply: Option<mpsc::Sender<Result<Annotation, ServiceError>>>,
+}
+
+impl TicketGuard {
+    fn arm(reply: mpsc::Sender<Result<Annotation, ServiceError>>) -> Self {
+        TicketGuard { reply: Some(reply) }
+    }
+
+    /// Defuse: the request completed normally and replies on its own.
+    fn complete(mut self) {
+        self.reply = None;
+    }
+}
+
+impl Drop for TicketGuard {
+    fn drop(&mut self) {
+        if let Some(reply) = self.reply.take() {
+            // The ticket may already be gone; that's the caller's choice.
+            let _ = reply.send(Err(ServiceError::WorkerPanicked));
+        }
+    }
+}
+
+pub(crate) fn run(ctx: WorkerContext) -> WorkerExit {
     loop {
-        let batch = ctx.queue.pop_batch(ctx.max_batch);
+        let mut batch: VecDeque<Request> = ctx.queue.pop_batch(ctx.max_batch).into();
         if batch.is_empty() {
             // Closed and drained: exit.
-            return;
+            return WorkerExit::Drained;
         }
-        for request in batch {
+        while let Some(request) = batch.pop_front() {
             ctx.shared.in_flight.fetch_add(1, Ordering::SeqCst);
-            let annotation = serve_request(&ctx, &request);
-            let total_us = request.enqueued.elapsed().as_micros() as u64;
-            record_completion(&ctx, &annotation, total_us);
-            // The ticket may have been dropped; that's the caller's choice.
-            let _ = request.reply.send(Ok(annotation));
+            let guard = TicketGuard::arm(request.reply.clone());
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let annotation = serve_request(&ctx, &request);
+                let total_us = request.enqueued.elapsed().as_micros() as u64;
+                record_completion(&ctx, &annotation, total_us);
+                annotation
+            }));
             ctx.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+            match outcome {
+                Ok(annotation) => {
+                    guard.complete();
+                    let _ = request.reply.send(Ok(annotation));
+                }
+                Err(_panic) => {
+                    // Account for the panic *before* completing the ticket:
+                    // a waiter unblocked by the guard's error must observe
+                    // counters that already include this panic.
+                    ctx.shared.worker_panics.fetch_add(1, Ordering::Relaxed);
+                    ctx.tracer.incr("worker.panic", 1);
+                    ctx.tracer.event_with(
+                        "worker.panic",
+                        vec![("worker", ctx.idx.to_string())],
+                    );
+                    // Dropping the guard completes the panicked ticket with
+                    // the typed error.
+                    drop(guard);
+                    // Hand the unserved remainder back for a sibling or the
+                    // respawned worker; if the queue closed underneath us,
+                    // fail those requests explicitly instead of leaking.
+                    if let Err(orphans) = ctx.queue.requeue_front(batch.into()) {
+                        for r in orphans {
+                            let _ = r.reply.send(Err(ServiceError::Closed));
+                        }
+                    }
+                    return WorkerExit::Panicked;
+                }
+            }
         }
     }
 }
@@ -136,6 +220,8 @@ fn record_completion(ctx: &WorkerContext, annotation: &Annotation, total_us: u64
     shared
         .latency
         .lock()
-        .expect("latency lock poisoned")
+        // A histogram is always re-validatable: recover from a sibling's
+        // poison rather than cascade the panic.
+        .unwrap_or_else(PoisonError::into_inner)
         .record(total_us);
 }

@@ -19,6 +19,22 @@ KGLINK_FAST=1 cargo run --release -q -p kglink-bench --bin exp_serve -- --smoke
 echo "== exp_obs smoke (stage tiling + zero-overhead tracer gate) =="
 KGLINK_FAST=1 cargo run --release -q -p kglink-bench --bin exp_obs -- --smoke
 
+echo "== exp_crash smoke (kill+resume bit-identity, guards, panic isolation) =="
+KGLINK_FAST=1 cargo run --release -q -p kglink-bench --bin exp_crash -- --smoke
+
+echo "== atomic-checkpoint-write gate =="
+# Checkpoints must go through the Checkpointer's temp→fsync→rename path in
+# crates/nn/src/checkpoint.rs. A bare fs::write/File::create of a .kgck (or
+# anything named checkpoint) in product code can leave a torn file behind a
+# crash — exactly what the format's CRC exists to catch, not to cause.
+# (Tests may forge corrupt checkpoint bytes on purpose; they are exempt.)
+if grep -rnE 'fs::write|File::create' --include='*.rs' crates src 2>/dev/null \
+    | grep -iE 'kgck|ckpt|checkpoint' \
+    | grep -v '^crates/nn/src/checkpoint.rs'; then
+  echo "FAIL: checkpoint write outside the atomic Checkpointer (crates/nn/src/checkpoint.rs)"
+  exit 1
+fi
+
 echo "== single-percentile-implementation gate =="
 # All percentile/quantile math lives in kglink-obs's Histogram. A hand-rolled
 # sort-and-index percentile anywhere else reintroduces the drift this layer

@@ -158,6 +158,23 @@ pub mod rngs {
             rng
         }
     }
+
+    impl StdRng {
+        /// The raw splitmix64 state word. Deviation from rand 0.8 (which
+        /// exposes no state accessor): this workspace's training
+        /// checkpoint/resume needs to capture and restore the exact stream
+        /// position for bit-identical replay.
+        pub fn state(&self) -> u64 {
+            self.state
+        }
+
+        /// Rebuild a generator at an exact stream position captured with
+        /// [`StdRng::state`]. Unlike `seed_from_u64`, no scrambling or
+        /// warm-up is applied: the next draw continues the original stream.
+        pub fn from_state(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
 }
 
 pub mod seq {
