@@ -66,9 +66,12 @@ impl CtaModel for MTab {
                         }
                     }
                 }
+                // kglink-lint: allow(nondeterminism) — max under a total order
+                // (score, then label id): the winner is independent of the
+                // hash map's iteration order.
                 label_scores
                     .into_iter()
-                    .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(b.0.cmp(&a.0)))
+                    .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))
                     .map(|(l, _)| l)
                     .unwrap_or(self.fallback)
             })

@@ -53,6 +53,9 @@ pub fn candidate_types(
                 }
             }
         }
+        // kglink-lint: allow(nondeterminism) — order-insensitive: the filter
+        // is per-element and the very next statement imposes a total order
+        // (score via total_cmp, then entity id) before anything is emitted.
         let mut ranked: Vec<CandidateType> = scores
             .into_iter()
             .filter(|(ct, _)| row_support[ct].len() >= 2.min(filtered.table.n_rows()))

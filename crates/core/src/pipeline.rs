@@ -250,6 +250,8 @@ impl KgLink {
     /// validation split. Returns the annotator and the training trace.
     pub fn fit(resources: &Resources<'_>, dataset: &Dataset, config: KgLinkConfig) -> (Self, TrainReport) {
         Self::fit_with(resources, dataset, config, &FitOptions::default())
+            // kglink-lint: allow(panic-in-lib) — structural: every TrainError
+            // is checkpoint I/O, and default FitOptions do no checkpoint I/O.
             .expect("fit without checkpoint I/O cannot fail")
     }
 
@@ -304,6 +306,8 @@ impl KgLink {
             config,
             &FitOptions::default(),
         )
+        // kglink-lint: allow(panic-in-lib) — structural: every TrainError is
+        // checkpoint I/O, and default FitOptions do no checkpoint I/O.
         .expect("fit without checkpoint I/O cannot fail")
     }
 

@@ -335,6 +335,8 @@ pub fn train(
         &FitOptions::default(),
         &Tracer::disabled(),
     )
+    // kglink-lint: allow(panic-in-lib) — structural: every TrainError is a
+    // checkpoint I/O failure, and default FitOptions do no checkpoint I/O.
     .expect("training without checkpoint I/O cannot fail")
 }
 
@@ -387,16 +389,27 @@ impl Reader<'_> {
         Ok(head)
     }
 
+    /// Fixed-size read: the array width is checked by construction, so no
+    /// fallible slice-to-array conversion is needed afterwards.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], CheckpointError> {
+        let (head, tail) = self
+            .0
+            .split_first_chunk::<N>()
+            .ok_or(CheckpointError::Truncated)?;
+        self.0 = tail;
+        Ok(*head)
+    }
+
     fn u64(&mut self) -> Result<u64, CheckpointError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     fn f32(&mut self) -> Result<f32, CheckpointError> {
-        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(f32::from_le_bytes(self.array()?))
     }
 
     fn f64(&mut self) -> Result<f64, CheckpointError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(f64::from_le_bytes(self.array()?))
     }
 }
 
@@ -637,6 +650,9 @@ pub fn train_with(
                         consecutive_bad += 1;
                         if consecutive_bad >= max_consecutive.max(1) {
                             load_train_state(model, &last_good.0)
+                                // kglink-lint: allow(panic-in-lib) — structural:
+                                // the snapshot was serialized from this very
+                                // model this run, so decode cannot fail.
                                 .expect("restoring own snapshot cannot fail");
                             opt.set_steps(last_good.1);
                             consecutive_bad = 0;
@@ -716,6 +732,8 @@ pub fn train_with(
         epoch += 1;
     }
     if let Some(blob) = best_blob {
+        // kglink-lint: allow(panic-in-lib) — structural: best_blob came from
+        // save_params on this model during this run; shapes always match.
         load_params(model, &blob).expect("restoring own weights cannot fail");
     }
     Ok(report)

@@ -1,0 +1,260 @@
+//! Fixture-corpus harness: the linter's self-test.
+//!
+//! The corpus under `crates/lint/tests/corpus/` holds known-bad (and
+//! known-suppressed) snippets as `.rsfix` files — a non-`.rs` extension so
+//! the workspace walk never lints them as product code. Each file starts
+//! with directives:
+//!
+//! ```text
+//! //@ path: crates/kg/src/io.rs        — virtual path used for scoping
+//! //@ expect: panic-in-lib @ 7          — a finding this file must produce
+//! //@ suppressed: 2                     — exact count of suppressed findings
+//! ```
+//!
+//! [`run_corpus`] lints every fixture against its declared expectations and
+//! reports mismatches in both directions: a finding that stopped firing
+//! means a rule silently went blind (the failure mode that killed the old
+//! grep gates); an undeclared finding means a rule grew a false positive.
+//! CI runs this via `kglink-lint --self-test` as a meta-gate: an empty or
+//! finding-free corpus is itself a failure.
+
+use crate::engine::lint_inputs;
+use crate::engine::Input;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One `//@ expect: <rule> @ <line>` directive.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Expectation {
+    pub rule: String,
+    pub line: u32,
+}
+
+/// A parsed `.rsfix` corpus file.
+#[derive(Debug)]
+pub struct Fixture {
+    /// The on-disk file (for error messages).
+    pub real_path: PathBuf,
+    /// The path the linter pretends the snippet lives at.
+    pub virtual_path: String,
+    pub text: String,
+    pub expect: Vec<Expectation>,
+    /// Exact number of findings an `allow(...)` must silence in this file.
+    pub suppressed: usize,
+}
+
+/// Parse directives out of a fixture's text. Directives are ordinary `//@`
+/// comments, so they are invisible to the rules themselves; expected line
+/// numbers refer to real lines of the file, directives included.
+pub fn parse_fixture(real_path: &Path, text: String) -> Result<Fixture, String> {
+    let mut virtual_path = None;
+    let mut expect = Vec::new();
+    let mut suppressed = 0usize;
+    for (idx, line) in text.lines().enumerate() {
+        let Some(rest) = line.trim().strip_prefix("//@") else {
+            continue;
+        };
+        let rest = rest.trim();
+        if let Some(p) = rest.strip_prefix("path:") {
+            virtual_path = Some(p.trim().to_string());
+        } else if let Some(e) = rest.strip_prefix("expect:") {
+            let Some((rule, at)) = e.split_once('@') else {
+                return Err(format!(
+                    "{}:{}: malformed expect directive (want `//@ expect: <rule> @ <line>`)",
+                    real_path.display(),
+                    idx + 1
+                ));
+            };
+            let Ok(line_no) = at.trim().parse::<u32>() else {
+                return Err(format!(
+                    "{}:{}: expect line number is not an integer",
+                    real_path.display(),
+                    idx + 1
+                ));
+            };
+            expect.push(Expectation {
+                rule: rule.trim().to_string(),
+                line: line_no,
+            });
+        } else if let Some(n) = rest.strip_prefix("suppressed:") {
+            suppressed = n.trim().parse::<usize>().map_err(|_| {
+                format!(
+                    "{}:{}: suppressed count is not an integer",
+                    real_path.display(),
+                    idx + 1
+                )
+            })?;
+        } else {
+            return Err(format!(
+                "{}:{}: unknown directive `//@ {rest}`",
+                real_path.display(),
+                idx + 1
+            ));
+        }
+    }
+    let Some(virtual_path) = virtual_path else {
+        return Err(format!(
+            "{}: missing `//@ path:` directive",
+            real_path.display()
+        ));
+    };
+    Ok(Fixture {
+        real_path: real_path.to_path_buf(),
+        virtual_path,
+        text,
+        expect,
+        suppressed,
+    })
+}
+
+/// All `.rsfix` files directly under `dir`, sorted for determinism.
+pub fn corpus_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rsfix"))
+        .collect();
+    out.sort();
+    out
+}
+
+/// Outcome of a corpus run. `ok()` is the CI meta-gate: every expectation
+/// matched, nothing unexpected fired, and the corpus is non-trivial.
+#[derive(Debug, Default)]
+pub struct CorpusOutcome {
+    pub files: usize,
+    /// Total findings the corpus is declared to produce.
+    pub expected_findings: usize,
+    /// Total suppressions the corpus is declared to exercise.
+    pub expected_suppressed: usize,
+    /// Human-readable mismatch descriptions; empty on success.
+    pub mismatches: Vec<String>,
+}
+
+impl CorpusOutcome {
+    pub fn ok(&self) -> bool {
+        self.mismatches.is_empty()
+            && self.files > 0
+            && self.expected_findings > 0
+            && self.expected_suppressed > 0
+    }
+
+    pub fn summary(&self) -> String {
+        format!(
+            "{} fixture(s): {} expected finding(s), {} expected suppression(s), {} mismatch(es)",
+            self.files,
+            self.expected_findings,
+            self.expected_suppressed,
+            self.mismatches.len()
+        )
+    }
+}
+
+/// Lint every fixture in `dir` (each file in isolation, under its virtual
+/// path) and compare against its declared expectations.
+pub fn run_corpus(dir: &Path) -> CorpusOutcome {
+    let mut outcome = CorpusOutcome::default();
+    let files = corpus_files(dir);
+    if files.is_empty() {
+        outcome
+            .mismatches
+            .push(format!("no .rsfix fixtures found under {}", dir.display()));
+        return outcome;
+    }
+    for path in files {
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                outcome
+                    .mismatches
+                    .push(format!("{}: unreadable: {e}", path.display()));
+                continue;
+            }
+        };
+        let fixture = match parse_fixture(&path, text) {
+            Ok(f) => f,
+            Err(e) => {
+                outcome.mismatches.push(e);
+                continue;
+            }
+        };
+        outcome.files += 1;
+        outcome.expected_findings += fixture.expect.len();
+        outcome.expected_suppressed += fixture.suppressed;
+        check_fixture(&fixture, &mut outcome.mismatches);
+    }
+    outcome
+}
+
+fn check_fixture(fixture: &Fixture, mismatches: &mut Vec<String>) {
+    let report = lint_inputs(
+        vec![Input {
+            path: fixture.virtual_path.clone(),
+            text: fixture.text.clone(),
+        }],
+        None,
+    );
+    let mut got: Vec<Expectation> = report
+        .findings
+        .iter()
+        .map(|f| Expectation {
+            rule: f.rule.to_string(),
+            line: f.line,
+        })
+        .collect();
+    let mut want = fixture.expect.clone();
+    got.sort();
+    want.sort();
+    let name = fixture.real_path.display();
+    for e in &want {
+        if !got.contains(e) {
+            mismatches.push(format!(
+                "{name}: expected `{}` at line {} did not fire — the rule went blind",
+                e.rule, e.line
+            ));
+        }
+    }
+    for e in &got {
+        if !want.contains(e) {
+            mismatches.push(format!(
+                "{name}: undeclared finding `{}` at line {} — false positive or stale corpus",
+                e.rule, e.line
+            ));
+        }
+    }
+    if report.suppressed != fixture.suppressed {
+        mismatches.push(format!(
+            "{name}: {} finding(s) suppressed, fixture declares {}",
+            report.suppressed, fixture.suppressed
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_directives() {
+        let text = "//@ path: crates/x/src/a.rs\n//@ expect: panic-in-lib @ 4\n//@ suppressed: 1\nfn f() {}\n";
+        let f = parse_fixture(Path::new("a.rsfix"), text.into()).expect("parses");
+        assert_eq!(f.virtual_path, "crates/x/src/a.rs");
+        assert_eq!(
+            f.expect,
+            vec![Expectation {
+                rule: "panic-in-lib".into(),
+                line: 4
+            }]
+        );
+        assert_eq!(f.suppressed, 1);
+    }
+
+    #[test]
+    fn rejects_missing_path_and_bad_directives() {
+        assert!(parse_fixture(Path::new("a.rsfix"), "fn f() {}\n".into()).is_err());
+        assert!(parse_fixture(Path::new("a.rsfix"), "//@ path: x\n//@ expect: r\n".into()).is_err());
+        assert!(parse_fixture(Path::new("a.rsfix"), "//@ path: x\n//@ bogus: y\n".into()).is_err());
+    }
+}

@@ -1,0 +1,37 @@
+//! kglink-lint: the workspace invariant linter.
+//!
+//! The repo's correctness story rests on invariants the type system cannot
+//! see — bit-identical kill+resume, bit-identical multi-worker serving,
+//! single-source percentile math, atomic checkpoint writes, panic-free
+//! library code. This crate enforces them statically, at CI time, replacing
+//! the two path-anchored `grep` gates that used to live in `scripts/ci.sh`
+//! (which silently rotted whenever an exempted file was renamed).
+//!
+//! Std-only by design: the workspace builds offline against vendored stubs,
+//! so `syn` is off the table. The [`lexer`] is a comment/string/raw-string
+//! aware token tiler — exact enough for invariant linting, property-tested
+//! to never panic and to round-trip arbitrary input.
+//!
+//! Architecture:
+//!
+//! - [`lexer`] — total-function tokenizer ([`lexer::lex`]).
+//! - [`source`] — per-file context: path scoping (lib/bin/test/bench/example),
+//!   inline `#[cfg(test)]` regions, `// kglink-lint: allow(<rule>)`
+//!   suppressions.
+//! - [`rules`] — the rule set behind the [`rules::Rule`] trait; see
+//!   DESIGN.md §11 for the catalog.
+//! - [`engine`] — workspace walk, rule dispatch, suppression application,
+//!   and suppression-hygiene meta-checks (`allow-unused`,
+//!   `allow-unknown-rule`, `allow-missing-justification`).
+//! - [`diag`] — findings, human `file:line` rendering, JSONL export.
+
+pub mod diag;
+pub mod engine;
+pub mod fixtures;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+pub use diag::{Finding, Report};
+pub use engine::{find_workspace_root, lint_files, lint_inputs, workspace_files, Input};
+pub use source::{classify_path, Scope, SourceFile};

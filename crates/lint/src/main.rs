@@ -1,0 +1,233 @@
+//! kglink-lint CLI.
+//!
+//! ```text
+//! kglink-lint --workspace --deny-all            # lint the whole workspace, fail on findings
+//! kglink-lint --workspace --json                # ... and export results/lint.jsonl
+//! kglink-lint --deny-all crates/lint/tests/corpus   # lint explicit paths (.rs + .rsfix)
+//! kglink-lint --self-test                       # fixture corpus meta-gate
+//! kglink-lint --list-rules                      # rule catalog
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings under `--deny-all` (or a failed
+//! self-test), 2 usage/environment errors. Without `--deny-all` the run is
+//! advisory: findings are printed but the exit code stays 0.
+
+use kglink_lint::engine::{find_workspace_root, lint_inputs, load_inputs, workspace_files, Input};
+use kglink_lint::fixtures::{self, parse_fixture};
+use kglink_lint::rules::{all_rules, META_RULES};
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: kglink-lint [--workspace] [--deny-all] [--json] [--json-path <file>]
+                   [--quiet] [--list-rules] [--self-test [<corpus-dir>]] [PATH...]
+
+  --workspace    lint every .rs file in the enclosing cargo workspace
+  --deny-all     exit 1 if any finding survives suppression (CI mode)
+  --json         export findings as JSONL to results/lint.jsonl
+  --json-path    override the JSONL output path (implies --json)
+  --quiet        suppress per-finding lines; print the summary only
+  --list-rules   print the rule catalog (ids + one-line descriptions)
+  --self-test    lint the fixture corpus against its //@ expect directives;
+                 fails if any rule went blind or grew a false positive
+  PATH...        extra files or directories to lint (.rs, plus .rsfix
+                 fixtures which are scoped by their //@ path directive)";
+
+struct Opts {
+    workspace: bool,
+    deny_all: bool,
+    json: Option<PathBuf>,
+    quiet: bool,
+    list_rules: bool,
+    self_test: bool,
+    corpus_dir: Option<PathBuf>,
+    paths: Vec<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts {
+        workspace: false,
+        deny_all: false,
+        json: None,
+        quiet: false,
+        list_rules: false,
+        self_test: false,
+        corpus_dir: None,
+        paths: Vec::new(),
+    };
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => o.workspace = true,
+            "--deny-all" => o.deny_all = true,
+            "--json" => {
+                o.json.get_or_insert_with(|| PathBuf::from("results/lint.jsonl"));
+            }
+            "--json-path" => {
+                let p = it.next().ok_or("--json-path needs a file argument")?;
+                o.json = Some(PathBuf::from(p));
+            }
+            "--quiet" | "-q" => o.quiet = true,
+            "--list-rules" => o.list_rules = true,
+            "--self-test" => {
+                o.self_test = true;
+                if let Some(next) = it.peek() {
+                    if !next.starts_with('-') {
+                        o.corpus_dir = Some(PathBuf::from(it.next().map(String::as_str).unwrap_or("")));
+                    }
+                }
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`"));
+            }
+            path => o.paths.push(PathBuf::from(path)),
+        }
+    }
+    Ok(o)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("kglink-lint: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for rule in all_rules() {
+            println!("{:28} {}", rule.id(), rule.describe());
+        }
+        for (id, desc) in META_RULES {
+            println!("{id:28} {desc}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("kglink-lint: cannot determine working directory: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match find_workspace_root(&cwd) {
+        Some(r) => r,
+        None => {
+            eprintln!("kglink-lint: no [workspace] Cargo.toml found above {}", cwd.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.self_test {
+        let dir = opts
+            .corpus_dir
+            .unwrap_or_else(|| root.join("crates/lint/tests/corpus"));
+        let outcome = fixtures::run_corpus(&dir);
+        for m in &outcome.mismatches {
+            eprintln!("self-test: {m}");
+        }
+        println!("self-test: {}", outcome.summary());
+        return if outcome.ok() {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("self-test: FAILED — the fixture corpus no longer pins the rule set");
+            ExitCode::FAILURE
+        };
+    }
+
+    if !opts.workspace && opts.paths.is_empty() {
+        eprintln!("kglink-lint: nothing to lint (pass --workspace or paths)\n{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    // Assemble inputs: the workspace walk (.rs only), then explicit paths,
+    // where .rsfix fixtures are loaded under their declared virtual path.
+    let mut errors = Vec::new();
+    let mut inputs: Vec<Input> = Vec::new();
+    if opts.workspace {
+        let files = workspace_files(&root);
+        inputs.extend(load_inputs(&root, &files, &mut errors));
+    }
+    for p in &opts.paths {
+        let abs = if p.is_absolute() { p.clone() } else { cwd.join(p) };
+        let mut files: Vec<PathBuf> = Vec::new();
+        if abs.is_dir() {
+            files.extend(workspace_files(&abs));
+            files.extend(fixtures::corpus_files(&abs));
+        } else {
+            files.push(abs.clone());
+        }
+        if files.is_empty() {
+            eprintln!("kglink-lint: no lintable files under {}", p.display());
+        }
+        for f in files {
+            if f.extension().is_some_and(|e| e == "rsfix") {
+                match fs::read_to_string(&f).map_err(|e| e.to_string()).and_then(|text| {
+                    parse_fixture(&f, text).map_err(|e| e.to_string())
+                }) {
+                    Ok(fixture) => inputs.push(Input {
+                        path: fixture.virtual_path,
+                        text: fixture.text,
+                    }),
+                    Err(e) => {
+                        eprintln!("kglink-lint: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            } else {
+                inputs.extend(load_inputs(&root, &[f], &mut errors));
+            }
+        }
+    }
+
+    let mut report = lint_inputs(inputs, None);
+    report.findings.extend(errors);
+    report.sort();
+
+    if !opts.quiet {
+        for f in &report.findings {
+            println!("{}", f.render());
+        }
+    }
+    println!("kglink-lint: {}", report.summary());
+
+    if let Some(json_path) = &opts.json {
+        let json_path = if json_path.is_absolute() {
+            json_path.clone()
+        } else {
+            root.join(json_path)
+        };
+        if let Err(e) = write_jsonl(&json_path, &report) {
+            eprintln!("kglink-lint: cannot write {}: {e}", json_path.display());
+            return ExitCode::from(2);
+        }
+        println!("kglink-lint: wrote {}", json_path.display());
+    }
+
+    if opts.deny_all && !report.findings.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn write_jsonl(path: &Path, report: &kglink_lint::Report) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut out = fs::File::create(path)?;
+    for f in &report.findings {
+        writeln!(out, "{}", f.to_json())?;
+    }
+    out.flush()
+}

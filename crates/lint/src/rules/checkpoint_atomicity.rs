@@ -1,0 +1,116 @@
+//! `checkpoint-atomicity`: checkpoint bytes reach disk only through the
+//! atomic temp→fsync→rename path.
+//!
+//! Port of the old `ci.sh` grep gate, made file-rename-robust: instead of
+//! exempting `crates/nn/src/checkpoint.rs` by path (which silently rots if
+//! the file moves), the one legitimate writer carries an allow-comment. The
+//! rule flags any `fs::write(...)` / `File::create(...)` whose statement
+//! mentions a checkpoint (an identifier or string containing `kgck`,
+//! `ckpt`, or `checkpoint`, case-insensitive). A torn checkpoint is exactly
+//! what the KGCK CRC exists to *detect*, not to *cause*; tests that forge
+//! corrupt bytes on purpose are exempt by scope.
+
+use super::{stmt_range, Rule};
+use crate::diag::Finding;
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+
+pub struct CheckpointAtomicity;
+
+const CHECKPOINT_MARKERS: &[&str] = &["kgck", "ckpt", "checkpoint"];
+
+fn mentions_checkpoint(text: &str) -> bool {
+    let lower = text.to_ascii_lowercase();
+    CHECKPOINT_MARKERS.iter().any(|m| lower.contains(m))
+}
+
+impl Rule for CheckpointAtomicity {
+    fn id(&self) -> &'static str {
+        "checkpoint-atomicity"
+    }
+
+    fn describe(&self) -> &'static str {
+        "checkpoint files are written only via the atomic Checkpointer (temp→fsync→rename)"
+    }
+
+    fn check_file(&mut self, f: &SourceFile, out: &mut Vec<Finding>) {
+        // Product code only: lib and binaries. Tests forge torn files.
+        if !matches!(
+            f.scope,
+            crate::source::Scope::Lib | crate::source::Scope::Bin
+        ) {
+            return;
+        }
+        for i in 0..f.code.len() {
+            if f.code_kind(i) != Some(TokKind::Ident) || f.code_in_test(i) {
+                continue;
+            }
+            let t = f.code_text(i);
+            let is_write = t == "fs"
+                && f.code_text(i + 1) == ":"
+                && f.code_text(i + 2) == ":"
+                && f.code_text(i + 3) == "write";
+            let is_create = t == "File"
+                && f.code_text(i + 1) == ":"
+                && f.code_text(i + 2) == ":"
+                && matches!(f.code_text(i + 3), "create" | "create_new");
+            if !is_write && !is_create {
+                continue;
+            }
+            let (s, e) = stmt_range(f, i);
+            let checkpointy = (s..e).any(|j| {
+                matches!(
+                    f.code_kind(j),
+                    Some(TokKind::Ident | TokKind::Str | TokKind::RawStr)
+                ) && mentions_checkpoint(f.code_text(j))
+            });
+            if checkpointy {
+                let call = if is_write { "fs::write" } else { "File::create" };
+                out.push(Finding::new(
+                    self.id(),
+                    &f.path,
+                    f.code_line(i),
+                    format!(
+                        "`{call}` of checkpoint data outside the atomic Checkpointer: a \
+                         crash mid-write leaves a torn file; go through \
+                         kglink_nn::checkpoint::Checkpointer"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<u32> {
+        let f = SourceFile::new(path.into(), src.into());
+        let mut out = Vec::new();
+        CheckpointAtomicity.check_file(&f, &mut out);
+        out.into_iter().map(|x| x.line).collect()
+    }
+
+    #[test]
+    fn flags_bare_checkpoint_writes_by_ident_or_string() {
+        let src = "\
+fn save(ckpt_path: &Path, bytes: &[u8]) {
+    fs::write(ckpt_path, bytes);
+    let f = File::create(\"model.kgck\");
+    std::fs::write(other, data);
+}
+";
+        assert_eq!(run("crates/core/src/train.rs", src), vec![2, 3]);
+    }
+
+    #[test]
+    fn unrelated_writes_and_tests_are_exempt() {
+        let src = "fn dump(p: &Path) { fs::write(p, \"results\"); }\n";
+        assert!(run("crates/core/src/train.rs", src).is_empty());
+        let forged = "fn t() { fs::write(\"torn.kgck\", b\"junk\"); }\n";
+        assert!(run("crates/nn/tests/checkpoint.rs", forged).is_empty());
+        let inline = "#[cfg(test)]\nmod t { fn f() { fs::write(\"x.kgck\", b\"j\"); } }\n";
+        assert!(run("crates/nn/src/checkpoint.rs", inline).is_empty());
+    }
+}

@@ -1,0 +1,272 @@
+//! `lock-order`: deadlock-freedom and poison-audit hygiene in the
+//! concurrent crates (`crates/serve`, `crates/search`).
+//!
+//! Two checks:
+//!
+//! 1. **Pairwise acquisition order.** For every function, extract the
+//!    sequence of distinct `Mutex`/`RwLock` receivers it acquires
+//!    (`x.lock()`, `x.read()`, `x.write()` with no arguments). If one
+//!    function acquires `A` before `B` and another acquires `B` before
+//!    `A`, the global lock order is inconsistent — the classic ABBA
+//!    deadlock shape — and both sites are flagged. The extraction is
+//!    lexical (it cannot see releases), so a false positive on
+//!    sequential (released-in-between) acquisitions is possible; that is
+//!    what justified allow-comments are for.
+//!
+//! 2. **Poison audit.** PR 4 established that serve/search locks recover
+//!    from a panicked sibling with `unwrap_or_else(PoisonError::into_inner)`
+//!    after arguing each guarded structure is re-validatable. A bare
+//!    `.lock().unwrap()` / `.read().expect(...)` bypasses that audit and
+//!    re-introduces poison cascades; it is flagged here (on top of
+//!    `panic-in-lib`) even in binaries.
+
+use super::Rule;
+use crate::diag::Finding;
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use std::collections::BTreeMap;
+
+#[derive(Default)]
+pub struct LockOrder {
+    /// (first-receiver, second-receiver) → earliest witness site.
+    pairs: BTreeMap<(String, String), Witness>,
+}
+
+#[derive(Clone)]
+struct Witness {
+    path: String,
+    func: String,
+    line: u32,
+}
+
+/// Crates whose locking discipline this rule audits.
+const CRATE_ALLOWLIST: &[&str] = &["crates/serve/", "crates/search/"];
+
+const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write"];
+
+impl Rule for LockOrder {
+    fn id(&self) -> &'static str {
+        "lock-order"
+    }
+
+    fn describe(&self) -> &'static str {
+        "consistent pairwise lock acquisition order; no bare lock().unwrap() past the poison audit"
+    }
+
+    fn check_file(&mut self, f: &SourceFile, out: &mut Vec<Finding>) {
+        if !CRATE_ALLOWLIST.iter().any(|p| f.path.starts_with(p)) {
+            return;
+        }
+        let mut i = 0usize;
+        while i < f.code.len() {
+            if f.code_text(i) == "fn"
+                && f.code_kind(i + 1) == Some(TokKind::Ident)
+                && !f.code_in_test(i)
+            {
+                i = self.check_fn(f, i, out);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn finish(&mut self, out: &mut Vec<Finding>) {
+        for ((a, b), w) in &self.pairs {
+            let Some(rev) = self.pairs.get(&(b.clone(), a.clone())) else {
+                continue;
+            };
+            // Report each conflicting pair once, from the lexicographically
+            // first side, anchored at both witnesses.
+            if a >= b {
+                continue;
+            }
+            for (here, there, first, second) in [(w, rev, a, b), (rev, w, b, a)] {
+                out.push(Finding::new(
+                    self.id(),
+                    &here.path,
+                    here.line,
+                    format!(
+                        "inconsistent lock order: `{}` acquires `{first}` then \
+                         `{second}`, but `{}` ({}:{}) acquires them in the opposite \
+                         order — potential ABBA deadlock",
+                        here.func, there.func, there.path, there.line
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+impl LockOrder {
+    /// Scan one `fn` starting at code index `i` (pointing at `fn`); record
+    /// its acquisition order, flag poison-audit bypasses, and return the
+    /// code index just past the function body.
+    fn check_fn(&mut self, f: &SourceFile, i: usize, out: &mut Vec<Finding>) -> usize {
+        let func = f.code_text(i + 1).to_string();
+        // Find the body's opening brace (a `;` first means a trait method
+        // signature — no body).
+        let n = f.code.len();
+        let mut j = i + 2;
+        while j < n && !matches!(f.code_text(j), "{" | ";") {
+            j += 1;
+        }
+        if j >= n || f.code_text(j) == ";" {
+            return j + 1;
+        }
+        let body_start = j;
+        let mut depth = 0i32;
+        let mut acquired: Vec<String> = Vec::new();
+        while j < n {
+            match f.code_text(j) {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                m if ACQUIRE_METHODS.contains(&m)
+                    && f.code_text(j.wrapping_sub(1)) == "."
+                    && j > body_start
+                    && f.code_text(j + 1) == "("
+                    && f.code_text(j + 2) == ")" =>
+                {
+                    let line = f.code_line(j);
+                    // Poison-audit bypass: `.lock().unwrap()` / `.expect(`.
+                    if f.code_text(j + 3) == "."
+                        && matches!(f.code_text(j + 4), "unwrap" | "expect")
+                        && f.code_text(j + 5) == "("
+                    {
+                        out.push(Finding::new(
+                            self.id(),
+                            &f.path,
+                            f.code_line(j + 4),
+                            format!(
+                                "`.{m}().{}(...)` bypasses the PoisonError::into_inner \
+                                 audit: a panicked sibling poisons this lock and the \
+                                 {} cascades; recover with \
+                                 `unwrap_or_else(PoisonError::into_inner)` after checking \
+                                 the guarded state is re-validatable",
+                                f.code_text(j + 4),
+                                f.code_text(j + 4),
+                            ),
+                        ));
+                    }
+                    if let Some(recv) = receiver_path(f, j.wrapping_sub(1)) {
+                        if !acquired.contains(&recv) {
+                            // Record *all* ordered pairs (not just adjacent
+                            // ones) so a→b→c also witnesses a-before-c.
+                            for prev in &acquired {
+                                self.pairs
+                                    .entry((prev.clone(), recv.clone()))
+                                    .or_insert(Witness {
+                                        path: f.path.clone(),
+                                        func: func.clone(),
+                                        line,
+                                    });
+                            }
+                            acquired.push(recv);
+                        }
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        j + 1
+    }
+}
+
+/// The dotted receiver path ending at the `.` at code index `dot`:
+/// `self.state.lock()` → `self.state`; `shard.lock()` → `shard`.
+/// Returns `None` when the receiver is a call or index expression
+/// (`shard_for(k).lock()`) — those are excluded from order analysis.
+fn receiver_path(f: &SourceFile, dot: usize) -> Option<String> {
+    let mut parts: Vec<String> = Vec::new();
+    let mut j = dot; // points at the `.` before the method name
+    while j > 0 {
+        let prev = j - 1;
+        if f.code_kind(prev) == Some(TokKind::Ident) {
+            parts.push(f.code_text(prev).to_string());
+            if prev > 0 && f.code_text(prev - 1) == "." {
+                j = prev - 1;
+                continue;
+            }
+        }
+        break;
+    }
+    if parts.is_empty() {
+        return None;
+    }
+    parts.reverse();
+    Some(parts.join("."))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(files: &[(&str, &str)]) -> Vec<(String, u32, String)> {
+        let mut rule = LockOrder::default();
+        let mut out = Vec::new();
+        for (path, src) in files {
+            let f = SourceFile::new(path.to_string(), src.to_string());
+            rule.check_file(&f, &mut out);
+        }
+        rule.finish(&mut out);
+        out.into_iter().map(|x| (x.path, x.line, x.message)).collect()
+    }
+
+    #[test]
+    fn abba_order_is_flagged_at_both_sites() {
+        let ab = "fn f(&self) {\n let a = self.a.lock();\n let b = self.b.lock();\n}\n";
+        let ba = "fn g(&self) {\n let b = self.b.lock();\n let a = self.a.lock();\n}\n";
+        let hits = run(&[
+            ("crates/serve/src/x.rs", ab),
+            ("crates/search/src/y.rs", ba),
+        ]);
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert!(hits.iter().any(|(p, l, _)| p.ends_with("x.rs") && *l == 3));
+        assert!(hits.iter().any(|(p, l, _)| p.ends_with("y.rs") && *l == 3));
+        assert!(hits[0].2.contains("ABBA"));
+    }
+
+    #[test]
+    fn consistent_order_and_single_locks_are_clean() {
+        let ab = "fn f(&self) { self.a.lock(); self.b.lock(); }\n";
+        let ab2 = "fn g(&self) { self.a.lock(); self.b.lock(); }\nfn h(&self) { self.b.lock(); }\n";
+        assert!(run(&[
+            ("crates/serve/src/x.rs", ab),
+            ("crates/serve/src/y.rs", ab2),
+        ])
+        .is_empty());
+    }
+
+    #[test]
+    fn bare_unwrap_on_lock_is_flagged_but_poison_recovery_is_not() {
+        let src = "\
+fn f(&self) {
+    self.state.lock().unwrap();
+    self.state.lock().unwrap_or_else(PoisonError::into_inner);
+    self.log.read().expect(\"poisoned\");
+}
+";
+        let hits = run(&[("crates/serve/src/x.rs", src)]);
+        assert_eq!(
+            hits.iter().map(|(_, l, _)| *l).collect::<Vec<_>>(),
+            vec![2, 4]
+        );
+    }
+
+    #[test]
+    fn io_read_write_with_args_are_not_acquisitions() {
+        let src = "fn f(&self) { file.read(&mut buf); sock.write(bytes); }\n";
+        assert!(run(&[("crates/serve/src/x.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn other_crates_are_out_of_scope() {
+        let src = "fn f(&self) { self.state.lock().unwrap(); }\n";
+        assert!(run(&[("crates/kg/src/x.rs", src)]).is_empty());
+    }
+}

@@ -1,0 +1,107 @@
+//! `panic-in-lib`: no panic paths in library crates.
+//!
+//! The PR-1 bug class: a `.unwrap()` on a data-dependent value deep in the
+//! retrieval or training pipeline turns one malformed table into a crashed
+//! worker. Library code must return typed errors; the only sanctioned
+//! escapes are a `// kglink-lint: allow(panic-in-lib) — <why the invariant
+//! holds>` comment, or genuinely test-scoped code (`tests/`, `benches/`,
+//! `examples/`, binaries, and inline `#[cfg(test)]` modules are exempt).
+
+use super::{is_lib_code, Rule};
+use crate::diag::Finding;
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+
+pub struct PanicInLib;
+
+/// Macros that abort: `name!(...)`.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+/// Panicking combinators: `.name(...)`.
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+impl Rule for PanicInLib {
+    fn id(&self) -> &'static str {
+        "panic-in-lib"
+    }
+
+    fn describe(&self) -> &'static str {
+        "no .unwrap()/.expect()/panic!/unreachable!/todo!/unimplemented! in library code"
+    }
+
+    fn check_file(&mut self, f: &SourceFile, out: &mut Vec<Finding>) {
+        for i in 0..f.code.len() {
+            if f.code_kind(i) != Some(TokKind::Ident) || !is_lib_code(f, i) {
+                continue;
+            }
+            let t = f.code_text(i);
+            if PANIC_MACROS.contains(&t) && f.code_text(i + 1) == "!" {
+                out.push(Finding::new(
+                    self.id(),
+                    &f.path,
+                    f.code_line(i),
+                    format!("`{t}!` in library code: return a typed error instead"),
+                ));
+            } else if PANIC_METHODS.contains(&t)
+                && f.code_text(i.wrapping_sub(1)) == "."
+                && i > 0
+                && f.code_text(i + 1) == "("
+            {
+                out.push(Finding::new(
+                    self.id(),
+                    &f.path,
+                    f.code_line(i),
+                    format!(
+                        "`.{t}(...)` in library code: propagate the error (`?`) or \
+                         handle it; if the invariant is structural, justify with an \
+                         allow-comment"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<(u32, String)> {
+        let f = SourceFile::new(path.into(), src.into());
+        let mut out = Vec::new();
+        PanicInLib.check_file(&f, &mut out);
+        out.into_iter().map(|x| (x.line, x.message)).collect()
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_macros_in_lib() {
+        let src = "fn f() {\n x.unwrap();\n y.expect(\"m\");\n panic!(\"no\");\n unreachable!()\n}\n";
+        let hits = run("crates/kg/src/io.rs", src);
+        assert_eq!(
+            hits.iter().map(|(l, _)| *l).collect::<Vec<_>>(),
+            vec![2, 3, 4, 5]
+        );
+    }
+
+    #[test]
+    fn ignores_lookalikes_and_non_lib_scopes() {
+        // unwrap_or / expect_err / should_panic are different identifiers;
+        // strings and comments are opaque; tests and bins are out of scope.
+        let src = "fn f() { x.unwrap_or(0); y.expect_err(\"m\"); }\n// x.unwrap()\nlet s = \"panic!\";\n";
+        assert!(run("crates/kg/src/io.rs", src).is_empty());
+        let panicky = "fn f() { x.unwrap(); }";
+        assert!(run("crates/kg/tests/t.rs", panicky).is_empty());
+        assert!(run("crates/bench/src/lib.rs", panicky).is_empty());
+        assert!(run("src/main.rs", panicky).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_modules_inside_lib_files_are_exempt() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\n";
+        assert!(run("crates/kg/src/io.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_path_reference_without_bang_is_fine() {
+        assert!(run("crates/serve/src/x.rs", "use std::panic::catch_unwind;\n").is_empty());
+    }
+}

@@ -1,0 +1,156 @@
+//! `unsafe-needs-safety-comment`: every `unsafe` block, fn, or impl in the
+//! workspace must be immediately preceded by a `// SAFETY:` comment that
+//! argues why the operation is sound. Applies to *all* scopes — an unsound
+//! test is still unsound.
+
+use super::Rule;
+use crate::diag::Finding;
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+
+pub struct UnsafeSafety;
+
+/// Tokens allowed between the SAFETY comment and the `unsafe` keyword:
+/// visibility/ABI modifiers and attribute machinery.
+fn is_modifier(text: &str, kind: TokKind) -> bool {
+    matches!(text, "pub" | "const" | "extern" | "crate" | "(" | ")" | "in" | "super" | "self")
+        || kind == TokKind::Str // extern "C"
+}
+
+impl Rule for UnsafeSafety {
+    fn id(&self) -> &'static str {
+        "unsafe-needs-safety-comment"
+    }
+
+    fn describe(&self) -> &'static str {
+        "every `unsafe` must be preceded by a `// SAFETY:` comment"
+    }
+
+    fn check_file(&mut self, f: &SourceFile, out: &mut Vec<Finding>) {
+        for (ti, tok) in f.tokens.iter().enumerate() {
+            if tok.kind != TokKind::Ident || tok.text(&f.text) != "unsafe" {
+                continue;
+            }
+            if !has_safety_comment(f, ti) {
+                out.push(Finding::new(
+                    self.id(),
+                    &f.path,
+                    tok.line,
+                    "`unsafe` without a `// SAFETY:` comment: state the invariant \
+                     that makes this sound, directly above the unsafe site",
+                ));
+            }
+        }
+    }
+}
+
+/// Accept a `SAFETY:` comment (a) anywhere earlier in the statement that
+/// contains the `unsafe` keyword (`let x = /* SAFETY: … */ unsafe { … }`),
+/// (b) in the comment run directly above that statement — attributes and
+/// doc comments may sit in between — or (c) trailing on the `unsafe`
+/// token's own line.
+fn has_safety_comment(f: &SourceFile, unsafe_ti: usize) -> bool {
+    let unsafe_line = f.tokens[unsafe_ti].line;
+    // (c) trailing on the same line.
+    for t in &f.tokens[unsafe_ti + 1..] {
+        if t.line != unsafe_line {
+            break;
+        }
+        if matches!(t.kind, TokKind::LineComment | TokKind::BlockComment)
+            && t.text(&f.text).contains("SAFETY:")
+        {
+            return true;
+        }
+    }
+    // (a) back through the current statement.
+    let mut j = unsafe_ti;
+    while j > 0 {
+        j -= 1;
+        let t = &f.tokens[j];
+        let text = t.text(&f.text);
+        if matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) {
+            if text.contains("SAFETY:") {
+                return true;
+            }
+            continue;
+        }
+        if matches!(text, ";" | "{" | "}") {
+            break;
+        }
+    }
+    // (b) comment run directly above the statement: trivia, attributes, and
+    // visibility/ABI modifiers may separate it from the boundary token.
+    while j > 0 {
+        j -= 1;
+        let t = &f.tokens[j];
+        let text = t.text(&f.text);
+        match t.kind {
+            TokKind::Whitespace => continue,
+            TokKind::LineComment | TokKind::BlockComment => {
+                if text.contains("SAFETY:") {
+                    return true;
+                }
+                continue;
+            }
+            // Skip a whole attribute `#[...]` backwards.
+            TokKind::Punct if text == "]" => {
+                let mut depth = 1i32;
+                while j > 0 && depth > 0 {
+                    j -= 1;
+                    match f.tokens[j].text(&f.text) {
+                        "]" => depth += 1,
+                        "[" => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if j > 0 && f.tokens[j - 1].text(&f.text) == "#" {
+                    j -= 1;
+                }
+            }
+            _ if is_modifier(text, t.kind) => continue,
+            _ => return false,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<u32> {
+        let f = SourceFile::new("crates/nn/src/tensor.rs".into(), src.into());
+        let mut out = Vec::new();
+        UnsafeSafety.check_file(&f, &mut out);
+        out.into_iter().map(|x| x.line).collect()
+    }
+
+    #[test]
+    fn flags_uncommented_unsafe_block_and_fn() {
+        let src = "fn f() {\n let x = unsafe { *p };\n}\npub unsafe fn g() {}\n";
+        assert_eq!(run(src), vec![2, 4]);
+    }
+
+    #[test]
+    fn safety_comment_satisfies_including_through_modifiers_and_attrs() {
+        let src = "\
+// SAFETY: p is non-null and aligned; checked on construction.
+let x = unsafe { *p };
+// SAFETY: the caller upholds the aliasing contract.
+#[inline]
+pub unsafe fn g() {}
+";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_in_strings_and_comments_is_not_code() {
+        assert!(run("// unsafe\nlet s = \"unsafe { }\";\n").is_empty());
+    }
+
+    #[test]
+    fn tests_are_not_exempt() {
+        let src = "#[cfg(test)]\nmod t { fn f() { unsafe { q() } } }\n";
+        assert_eq!(run(src), vec![2]);
+    }
+}

@@ -1,0 +1,51 @@
+//! Property tests for the lexer's two total-function guarantees: it never
+//! panics, and its tokens tile the input exactly (concatenating token texts
+//! reproduces the source byte for byte). Exercised on arbitrary bytes run
+//! through `from_utf8_lossy` (worst-case garbage) and on input dense in the
+//! characters the lexer special-cases (quotes, slashes, `r#`, braces).
+
+use kglink_lint::lexer::lex;
+use proptest::prelude::*;
+
+fn round_trips(src: &str) {
+    let toks = lex(src);
+    let mut reassembled = String::with_capacity(src.len());
+    let mut line = 1u32;
+    for t in &toks {
+        reassembled.push_str(t.text(src));
+        assert!(t.line >= line, "token lines must be nondecreasing");
+        line = t.line;
+    }
+    assert_eq!(reassembled, src, "tokens must tile the input exactly");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic_and_round_trip(
+        bytes in proptest::collection::vec(0u8..=255u8, 0..400),
+    ) {
+        round_trips(&String::from_utf8_lossy(&bytes));
+    }
+
+    #[test]
+    fn tokenizer_trigger_soup_round_trips(
+        soup in "[a-z0-9_\"'/\\*\\#{}()!.:; \
+\n]{0,300}",
+    ) {
+        round_trips(&soup);
+    }
+
+    #[test]
+    fn open_ended_literals_round_trip(
+        which in 0usize..6,
+        body in proptest::collection::vec(0u8..=255u8, 0..60),
+    ) {
+        // Deliberately unterminated strings/comments: the lexer must absorb
+        // them to EOF without panicking and still tile exactly.
+        let openers = ["\"", "'", "//", "/* ", "r#\"", "b\"\\"];
+        let src = format!("{}{}", openers[which], String::from_utf8_lossy(&body));
+        round_trips(&src);
+    }
+}

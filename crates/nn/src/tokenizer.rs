@@ -61,6 +61,8 @@ impl Vocab {
                 *counts.entry(w).or_insert(0) += 1;
             }
         }
+        // kglink-lint: allow(nondeterminism) — order-insensitive: the filter
+        // is per-entry and the sort below totally orders by (count, word).
         let mut items: Vec<(String, usize)> = counts
             .into_iter()
             .filter(|&(_, c)| c >= min_count)

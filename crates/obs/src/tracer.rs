@@ -13,12 +13,18 @@
 //! [`Span`] that closes it (and feeds the elapsed time into the stage
 //! histogram of the same name) on drop. Parentage is tracked per thread,
 //! so nested spans form a tree per worker without any coordination.
+//!
+//! Lock poisoning is recovered with `PoisonError::into_inner` throughout:
+//! every guarded structure (event vec, counter map, stage histograms) is
+//! append/accumulate-only, so the worst a panicked sibling leaves behind is
+//! a missing record — never a broken invariant. Telemetry must not take a
+//! serving worker down with it.
 
 use crate::hist::Histogram;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
 /// What one [`Event`] records.
@@ -122,7 +128,7 @@ impl Tracer {
         fields: Vec<(&'static str, String)>,
     ) {
         let t_us = inner.epoch.elapsed().as_micros() as u64;
-        let mut events = inner.events.lock().expect("event log poisoned");
+        let mut events = inner.events.lock().unwrap_or_else(PoisonError::into_inner);
         let seq = events.len() as u64;
         events.push(Event {
             seq,
@@ -184,7 +190,7 @@ impl Tracer {
     pub fn incr(&self, name: &'static str, delta: u64) {
         if let Some(inner) = &self.inner {
             let value = {
-                let mut counters = inner.counters.lock().expect("counters poisoned");
+                let mut counters = inner.counters.lock().unwrap_or_else(PoisonError::into_inner);
                 let slot = counters.entry(name).or_insert(0);
                 *slot += delta;
                 *slot
@@ -210,7 +216,7 @@ impl Tracer {
             inner
                 .stages
                 .lock()
-                .expect("stages poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
                 .entry(name)
                 .or_default()
                 .record(us);
@@ -221,20 +227,20 @@ impl Tracer {
     pub fn stage(&self, name: &str) -> Option<Histogram> {
         self.inner
             .as_ref()
-            .and_then(|i| i.stages.lock().expect("stages poisoned").get(name).cloned())
+            .and_then(|i| i.stages.lock().unwrap_or_else(PoisonError::into_inner).get(name).cloned())
     }
 
     /// Snapshot of every stage histogram.
     pub fn stages(&self) -> BTreeMap<&'static str, Histogram> {
         self.inner.as_ref().map_or_else(BTreeMap::new, |i| {
-            i.stages.lock().expect("stages poisoned").clone()
+            i.stages.lock().unwrap_or_else(PoisonError::into_inner).clone()
         })
     }
 
     /// Snapshot of every counter.
     pub fn counters(&self) -> BTreeMap<&'static str, u64> {
         self.inner.as_ref().map_or_else(BTreeMap::new, |i| {
-            i.counters.lock().expect("counters poisoned").clone()
+            i.counters.lock().unwrap_or_else(PoisonError::into_inner).clone()
         })
     }
 
@@ -243,7 +249,7 @@ impl Tracer {
         self.inner.as_ref().map_or(0, |i| {
             i.counters
                 .lock()
-                .expect("counters poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
                 .get(name)
                 .copied()
                 .unwrap_or(0)
@@ -253,7 +259,7 @@ impl Tracer {
     /// Snapshot of the event log, in causal (sequence) order.
     pub fn events(&self) -> Vec<Event> {
         self.inner.as_ref().map_or_else(Vec::new, |i| {
-            i.events.lock().expect("event log poisoned").clone()
+            i.events.lock().unwrap_or_else(PoisonError::into_inner).clone()
         })
     }
 
@@ -263,6 +269,8 @@ impl Tracer {
     }
 
     fn close_span(&self, data: &SpanData<'_>) {
+        // kglink-lint: allow(panic-in-lib) — structural: SpanData is only
+        // ever constructed by span(), which requires inner to be Some.
         let inner = self.inner.as_ref().expect("span data implies enabled");
         let elapsed_us = data.start.elapsed().as_micros() as u64;
         SPAN_STACK.with(|s| {
@@ -276,7 +284,7 @@ impl Tracer {
         inner
             .stages
             .lock()
-            .expect("stages poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .entry(data.name)
             .or_default()
             .record(elapsed_us);

@@ -4,7 +4,7 @@ use crate::bm25::Bm25Params;
 use crate::tokenize::{tokenize, tokenize_unique};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Index-local document identifier (the caller decides what it maps to; the
 /// [`crate::EntitySearcher`] uses entity ids).
@@ -60,7 +60,10 @@ impl InvertedIndex {
         }
         *self.doc_lens.entry(doc).or_insert(0) += tokens.len() as u32;
         self.total_len += tokens.len() as u64;
-        let mut tf: HashMap<&str, u32> = HashMap::new();
+        // BTreeMap so per-document term counts are visited in term order:
+        // postings lists grow identically run to run even before finish()
+        // canonicalizes them.
+        let mut tf: BTreeMap<&str, u32> = BTreeMap::new();
         for t in &tokens {
             *tf.entry(t.as_str()).or_insert(0) += 1;
         }
@@ -79,6 +82,9 @@ impl InvertedIndex {
     /// Freeze the index: sorts postings by document id for deterministic
     /// iteration and enables querying.
     pub fn finish(&mut self) {
+        // kglink-lint: allow(nondeterminism) — order-insensitive: each list
+        // is canonicalized (sorted by doc, duplicates merged) independently;
+        // the visit order across lists can affect nothing observable.
         for list in self.postings.values_mut() {
             list.sort_unstable_by_key(|p| p.doc);
             // Merge duplicate (doc) entries produced by multiple fields.
@@ -181,11 +187,12 @@ impl PartialOrd for HeapEntry {
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse: BinaryHeap is a max-heap, we want to pop the worst.
+        // total_cmp makes this a total order, which is what guarantees the
+        // k survivors are insertion-order independent.
         other
             .0
             .score
-            .partial_cmp(&self.0.score)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.0.score)
             // On equal scores pop the *larger* doc id first, keeping lower ids.
             .then_with(|| self.0.doc.cmp(&other.0.doc))
     }
@@ -193,6 +200,10 @@ impl Ord for HeapEntry {
 
 fn top_k(acc: HashMap<DocId, f32>, k: usize) -> Vec<SearchHit> {
     let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+    // kglink-lint: allow(nondeterminism) — order-insensitive: HeapEntry's
+    // Ord is total (total_cmp, then doc id), so a size-bounded heap keeps
+    // exactly the k greatest entries whatever order they arrive in; the
+    // final sort below fixes the emitted order.
     for (doc, score) in acc {
         heap.push(HeapEntry(SearchHit { doc, score }));
         if heap.len() > k {
@@ -202,8 +213,7 @@ fn top_k(acc: HashMap<DocId, f32>, k: usize) -> Vec<SearchHit> {
     let mut hits: Vec<SearchHit> = heap.into_iter().map(|e| e.0).collect();
     hits.sort_unstable_by(|a, b| {
         b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&a.score)
             .then_with(|| a.doc.cmp(&b.doc))
     });
     hits

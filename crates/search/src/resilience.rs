@@ -227,6 +227,9 @@ impl<B: KgBackend> KgBackend for PanickingBackend<B> {
     ) -> Result<SearchOutcome, RetrievalError> {
         let n = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
         if n.is_multiple_of(self.every) {
+            // kglink-lint: allow(panic-in-lib) — panicking IS this chaos
+            // decorator's contract; it exists to exercise the panic
+            // isolation in the serving layer and the resilience tests.
             panic!("injected panic on backend call {n}");
         }
         self.inner.search_entities(query, top_k, deadline)
@@ -582,6 +585,9 @@ impl<B: KgBackend> ResilientBackend<B> {
     /// `breaker.transition` event when its state changes.
     fn record_breaker_outcome(&self, state: &mut ResilientState, ok: bool) {
         let now = state.clock_us;
+        // kglink-lint: allow(panic-in-lib) — structural: the constructor
+        // installs a breaker unconditionally; the Option only exists so the
+        // state struct can be built field by field.
         let breaker = state.breaker.as_mut().expect("breaker always present");
         let before = breaker.state();
         breaker.record(now, ok);
@@ -621,6 +627,8 @@ impl<B: KgBackend> KgBackend for ResilientBackend<B> {
         let mut attempt: u32 = 0;
         loop {
             let now = state.clock_us;
+            // kglink-lint: allow(panic-in-lib) — same structural invariant
+            // as record_breaker_outcome: the breaker is always installed.
             let breaker = state.breaker.as_mut().expect("breaker always present");
             let before = breaker.state();
             let admitted = breaker.allow(now);

@@ -227,6 +227,9 @@ impl Pool {
                     .unwrap_or(WorkerExit::Panicked);
                 let _ = exit_tx.send((idx, exit));
             })
+            // kglink-lint: allow(panic-in-lib) — OS thread spawn fails only
+            // on process-level resource exhaustion at startup; there is no
+            // degraded mode to offer without a worker pool.
             .expect("failed to spawn worker thread")
     }
 }
@@ -360,6 +363,8 @@ impl AnnotationService {
                     .spawn(move || {
                         supervise(pool, sup_meters, restart_budget, exit_tx, exit_rx, handles)
                     })
+                    // kglink-lint: allow(panic-in-lib) — same startup-only
+                    // resource-exhaustion case as the worker spawn above.
                     .expect("failed to spawn supervisor thread"),
             )
         } else {
@@ -374,6 +379,8 @@ impl AnnotationService {
             default_deadline: config.default_deadline,
             restart_budget: config.restart_budget,
             next_id: AtomicU64::new(0),
+            // kglink-lint: allow(nondeterminism) — wall-clock uptime for
+            // the metrics snapshot only; no annotation output reads it.
             started: Instant::now(),
             supervisor,
             closed: false,
@@ -405,6 +412,9 @@ impl AnnotationService {
         let request = Request {
             table,
             deadline,
+            // kglink-lint: allow(nondeterminism) — queue-wait timestamp:
+            // deadlines are budgeted against real elapsed time by design;
+            // annotation *results* stay bit-identical regardless (PR 2).
             enqueued: Instant::now(),
             reply: tx,
         };

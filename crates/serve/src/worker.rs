@@ -199,6 +199,9 @@ fn worker_resources<'a>(
         .tokenizer(&ctx.tokenizer)
         .tracer(&ctx.tracer)
         .build()
+        // kglink-lint: allow(panic-in-lib) — structural: the service
+        // constructor validated these exact resources; a builder error here
+        // is a bug in this crate, not a runtime condition.
         .expect("service resources validated at startup")
 }
 

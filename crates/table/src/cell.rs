@@ -126,7 +126,7 @@ fn detect_number(s: &str) -> Option<f64> {
         return None;
     }
     let body = cleaned.strip_prefix(['-', '+']).unwrap_or(&cleaned);
-    if body.is_empty() || !body.chars().next().unwrap().is_ascii_digit() {
+    if !body.chars().next().is_some_and(|c| c.is_ascii_digit()) {
         return None;
     }
     if !body.chars().all(|c| c.is_ascii_digit() || c == '.') {

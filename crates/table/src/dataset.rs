@@ -5,7 +5,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Identifier of a semantic type (column label) inside a dataset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
@@ -145,16 +145,16 @@ impl Dataset {
     /// first-column label (a proxy for its class), deterministically.
     pub fn assign_splits(&mut self, spec: SplitSpec, seed: u64) {
         let mut rng = StdRng::seed_from_u64(seed);
-        // Group table indices by stratum.
-        let mut strata: HashMap<LabelId, Vec<usize>> = HashMap::new();
+        // Group table indices by stratum. A BTreeMap visits strata in
+        // ascending label order — the same order the previous
+        // collect-keys-and-sort dance produced, so the rng stream (and
+        // therefore every historical split) is unchanged.
+        let mut strata: BTreeMap<LabelId, Vec<usize>> = BTreeMap::new();
         for (i, t) in self.tables.iter().enumerate() {
             let key = t.labels.first().copied().unwrap_or(LabelId(u32::MAX));
             strata.entry(key).or_default().push(i);
         }
-        let mut keys: Vec<LabelId> = strata.keys().copied().collect();
-        keys.sort_unstable();
-        for key in keys {
-            let mut idxs = strata.remove(&key).unwrap();
+        for (_, mut idxs) in strata {
             idxs.shuffle(&mut rng);
             let n = idxs.len();
             let n_test = ((n as f64) * spec.test).round() as usize;

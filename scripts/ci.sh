@@ -22,27 +22,18 @@ KGLINK_FAST=1 cargo run --release -q -p kglink-bench --bin exp_obs -- --smoke
 echo "== exp_crash smoke (kill+resume bit-identity, guards, panic isolation) =="
 KGLINK_FAST=1 cargo run --release -q -p kglink-bench --bin exp_crash -- --smoke
 
-echo "== atomic-checkpoint-write gate =="
-# Checkpoints must go through the Checkpointer's temp→fsync→rename path in
-# crates/nn/src/checkpoint.rs. A bare fs::write/File::create of a .kgck (or
-# anything named checkpoint) in product code can leave a torn file behind a
-# crash — exactly what the format's CRC exists to catch, not to cause.
-# (Tests may forge corrupt checkpoint bytes on purpose; they are exempt.)
-if grep -rnE 'fs::write|File::create' --include='*.rs' crates src 2>/dev/null \
-    | grep -iE 'kgck|ckpt|checkpoint' \
-    | grep -v '^crates/nn/src/checkpoint.rs'; then
-  echo "FAIL: checkpoint write outside the atomic Checkpointer (crates/nn/src/checkpoint.rs)"
-  exit 1
-fi
+echo "== kglink-lint self-test (fixture corpus meta-gate) =="
+# The linter must still *find* things before its clean workspace run means
+# anything: every rule's fixtures must fire exactly as declared. A rule
+# that silently went blind fails here, not in production.
+cargo run --release -q -p kglink-lint -- --self-test
 
-echo "== single-percentile-implementation gate =="
-# All percentile/quantile math lives in kglink-obs's Histogram. A hand-rolled
-# sort-and-index percentile anywhere else reintroduces the drift this layer
-# was built to kill.
-if grep -rnE "fn (percentile|quantile)" --include='*.rs' crates src examples tests benches 2>/dev/null \
-    | grep -v '^crates/obs/'; then
-  echo "FAIL: percentile/quantile implementation outside crates/obs (use kglink_obs::Histogram)"
-  exit 1
-fi
+echo "== kglink-lint --workspace --deny-all =="
+# Workspace invariant gate: panic-freedom, determinism, atomic checkpoint
+# writes, single-source percentile math, lock order, unsafe hygiene. This
+# replaces the old atomic-checkpoint-write and single-percentile grep gates
+# (same invariants, now rename-robust and suppression-audited — see
+# DESIGN.md §11). Findings are exported to results/lint.jsonl.
+cargo run --release -q -p kglink-lint -- --workspace --deny-all --json
 
 echo "CI OK"
