@@ -17,6 +17,8 @@
 //!
 //! All models implement [`CtaModel`], the harness-facing trait.
 
+#![deny(deprecated)]
+
 pub mod doduo;
 pub mod env;
 pub mod hnn;

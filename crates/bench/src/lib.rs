@@ -10,6 +10,8 @@
 //! * `KGLINK_FAST=1` — shrink everything for smoke runs.
 //! * `KGLINK_SEED=<n>` — change the global seed (default 7).
 
+#![deny(deprecated)]
+
 use kglink_baselines::doduo::Doduo;
 use kglink_baselines::hnn::Hnn;
 use kglink_baselines::mlp::MlpConfig;

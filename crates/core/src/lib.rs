@@ -33,6 +33,8 @@
 //!
 //! The user-facing entry point is [`pipeline::KgLink`].
 
+#![deny(deprecated)]
+
 pub mod candidates;
 pub mod config;
 pub mod error;
@@ -51,8 +53,8 @@ pub use error::KgLinkError;
 pub use linking::{CellLink, LinkedTable};
 pub use model::KgLinkModel;
 pub use pipeline::{
-    req, AnnotateOutcome, AnnotateRequest, FitOptions, GuardPolicy, KgLink, Resources,
-    ResourcesBuilder, TrainReport,
+    req, AnnotateOutcome, AnnotateRequest, DegradationRung, FitOptions, GuardPolicy, KgLink,
+    Resources, ResourcesBuilder, TrainReport,
 };
 pub use preprocess::{preprocess_table, preprocess_table_traced, ProcessedTable, Preprocessor};
 pub use stats::{DegradationStats, LinkStatistics, LinkageClass};

@@ -167,6 +167,54 @@ pub fn build_vocab<'a>(
     Vocab::build(texts.iter().map(String::as_str), 1, max_size)
 }
 
+/// How much of the KG-linkage pipeline a request was served with.
+///
+/// The serving layer's brownout controller walks this ladder under
+/// overload: quality is shed one rung at a time before any request is
+/// shed. The paper's ablation (Table IV) shows the model still produces
+/// useful annotations with linkage disabled, which is what makes rung 2 a
+/// principled fallback rather than an error path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DegradationRung {
+    /// Rung 0: full KG retrieval through the configured backend stack.
+    #[default]
+    Full,
+    /// Rung 1: retrieval served only from cache hits; misses degrade the
+    /// column instead of reaching the backend.
+    CacheOnly,
+    /// Rung 2: no retrieval at all — the paper's no-linkage path.
+    NoLinkage,
+}
+
+impl DegradationRung {
+    /// Numeric rung (0 = full service), for metrics and comparisons.
+    pub fn level(self) -> u8 {
+        match self {
+            DegradationRung::Full => 0,
+            DegradationRung::CacheOnly => 1,
+            DegradationRung::NoLinkage => 2,
+        }
+    }
+
+    /// Inverse of [`level`](Self::level); saturates at the worst rung.
+    pub fn from_level(level: u8) -> Self {
+        match level {
+            0 => DegradationRung::Full,
+            1 => DegradationRung::CacheOnly,
+            _ => DegradationRung::NoLinkage,
+        }
+    }
+
+    /// Stable lower-case name, used in metrics and trace events.
+    pub fn name(self) -> &'static str {
+        match self {
+            DegradationRung::Full => "full",
+            DegradationRung::CacheOnly => "cache_only",
+            DegradationRung::NoLinkage => "no_linkage",
+        }
+    }
+}
+
 /// Labels plus degradation accounting for one annotated table.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AnnotateOutcome {
@@ -176,6 +224,9 @@ pub struct AnnotateOutcome {
     pub degraded_columns: usize,
     /// Cells whose retrieval was attempted but failed.
     pub failed_cells: usize,
+    /// The degradation rung the request was served at (copied from the
+    /// [`AnnotateRequest`]; the pipeline itself does not select rungs).
+    pub rung: DegradationRung,
 }
 
 impl AnnotateOutcome {
@@ -201,6 +252,7 @@ pub struct AnnotateRequest<'r> {
     table: &'r Table,
     deadline: Deadline,
     tracer: Option<&'r Tracer>,
+    rung: DegradationRung,
 }
 
 /// Shorthand constructor for an [`AnnotateRequest`].
@@ -215,6 +267,7 @@ impl<'r> AnnotateRequest<'r> {
             table,
             deadline: Deadline::UNBOUNDED,
             tracer: None,
+            rung: DegradationRung::Full,
         }
     }
 
@@ -229,6 +282,15 @@ impl<'r> AnnotateRequest<'r> {
     /// by the [`Resources`] bundle.
     pub fn trace(mut self, tracer: &'r Tracer) -> Self {
         self.tracer = Some(tracer);
+        self
+    }
+
+    /// Record the degradation rung this request is being served at. Purely
+    /// descriptive — the *caller* (e.g. the serving layer's brownout
+    /// controller) selects the rung by choosing the backend; this stamps
+    /// the choice onto the [`AnnotateOutcome`] for accounting.
+    pub fn rung(mut self, rung: DegradationRung) -> Self {
+        self.rung = rung;
         self
     }
 
@@ -400,6 +462,7 @@ impl KgLink {
             labels,
             degraded_columns,
             failed_cells,
+            rung: request.rung,
         }
     }
 

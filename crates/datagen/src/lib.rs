@@ -22,6 +22,8 @@
 //! paper: "We translate the label on VizNet dataset to WikiData KG entities
 //! to make MTab work").
 
+#![deny(deprecated)]
+
 pub mod common;
 pub mod corpus;
 pub mod noise;

@@ -19,6 +19,8 @@
 //! index, entity filters) can use flat vectors instead of hash maps on the
 //! hot path.
 
+#![deny(deprecated)]
+
 pub mod builder;
 pub mod entity;
 pub mod graph;

@@ -25,6 +25,8 @@
 //!   `allow-unknown-rule`, `allow-missing-justification`).
 //! - [`diag`] — findings, human `file:line` rendering, JSONL export.
 
+#![deny(deprecated)]
+
 pub mod diag;
 pub mod engine;
 pub mod fixtures;

@@ -11,6 +11,7 @@ mod lock_order;
 mod nondeterminism;
 mod panic_in_lib;
 mod single_percentile;
+mod unbounded_channel;
 mod unsafe_safety;
 
 pub use checkpoint_atomicity::CheckpointAtomicity;
@@ -18,6 +19,7 @@ pub use lock_order::LockOrder;
 pub use nondeterminism::Nondeterminism;
 pub use panic_in_lib::PanicInLib;
 pub use single_percentile::SinglePercentile;
+pub use unbounded_channel::UnboundedChannel;
 pub use unsafe_safety::UnsafeSafety;
 
 use crate::diag::Finding;
@@ -41,6 +43,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(CheckpointAtomicity),
         Box::new(SinglePercentile),
         Box::new(LockOrder::default()),
+        Box::new(UnboundedChannel),
         Box::new(UnsafeSafety),
     ]
 }

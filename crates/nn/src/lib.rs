@@ -21,6 +21,8 @@
 //!   feature sequences) trivially correct.
 //! * Everything is deterministic under a seed.
 
+#![deny(deprecated)]
+
 pub mod checkpoint;
 pub mod encoder;
 pub mod layers;

@@ -42,6 +42,8 @@
 //! `breaker.transition`, `breaker.reject`, `cache.hit`, `cache.miss`,
 //! `degrade.column`.
 
+#![deny(deprecated)]
+
 pub mod hist;
 pub mod jsonl;
 pub mod tracer;

@@ -311,6 +311,35 @@ impl<B: KgBackend> CachingBackend<B> {
         &self.shards[(h.finish() as usize) % self.shards.len()]
     }
 
+    /// Cache-only lookup: answer from a stored entry or return `None`
+    /// without ever consulting the inner backend. This is the serving
+    /// layer's brownout rung 1 — under overload it keeps serving whatever
+    /// the cache already holds (bit-identical to the miss path that
+    /// populated it, zero simulated latency) and lets misses degrade to
+    /// the no-linkage path instead of spending backend capacity. Counts
+    /// as a normal hit or miss in [`stats`](Self::stats).
+    pub fn lookup_cached(&self, query: &str, top_k: usize) -> Option<SearchOutcome> {
+        let key = (normalize_mention(query), top_k);
+        let found = self
+            .shard_for(&key)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+            .map(|entry| SearchOutcome {
+                hits: entry.hits.clone(),
+                latency_us: 0,
+                truncated: entry.truncated,
+            });
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.tracer.incr("cache.hit", 1);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.tracer.incr("cache.miss", 1);
+        }
+        found
+    }
+
     /// Counter snapshot. `entries` walks every shard, so don't call it on a
     /// hot path.
     pub fn stats(&self) -> CacheStats {
@@ -467,6 +496,27 @@ mod tests {
         // Now served from cache even if the backend dies again.
         let hit = cached.search_entities("Peter", 3, Deadline::UNBOUNDED).unwrap();
         assert_eq!(hit.hits, ok.hits);
+    }
+
+    #[test]
+    fn cache_only_lookup_serves_hits_and_never_calls_the_backend() {
+        let s = searcher();
+        // A backend that is down for good: only pre-warmed keys can work.
+        let flaky = FaultyBackend::new(&s, FaultConfig::healthy(3).with_outage(1, u64::MAX));
+        let cached = CachingBackend::new(&flaky, CacheConfig::default());
+        let warm = cached
+            .search_entities("Peter", 3, Deadline::UNBOUNDED)
+            .expect("first call precedes the outage");
+        let calls_after_warm = flaky.calls();
+        // Warm key: served from the cache, identical hits, zero latency.
+        let hit = cached.lookup_cached("  PETER ", 3).expect("warm key");
+        assert_eq!(hit.hits, warm.hits);
+        assert_eq!(hit.latency_us, 0);
+        // Cold key: a miss, not a backend call — the outage is never seen.
+        assert!(cached.lookup_cached("Anna", 3).is_none());
+        assert_eq!(flaky.calls(), calls_after_warm, "lookup never hits the backend");
+        let stats = cached.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 2));
     }
 
     #[test]

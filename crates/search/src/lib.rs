@@ -21,6 +21,8 @@
 //! decorator ([`CachingBackend`]) that both the serving layer and
 //! training-time preprocessing stack over any of the above.
 
+#![deny(deprecated)]
+
 pub mod backend;
 pub mod bm25;
 pub mod cache;
@@ -36,6 +38,7 @@ pub use index::{DocId, InvertedIndex, SearchHit};
 pub use resilience::{
     backoff_delay_us, breaker_state_name, BreakerConfig, BreakerState, CircuitBreaker, FaultConfig,
     FaultyBackend, MetricsSnapshot, PanickingBackend, ResilienceConfig, ResilientBackend,
+    RetryBudget, RetryBudgetConfig,
 };
 pub use searcher::EntitySearcher;
 pub use tokenize::tokenize;

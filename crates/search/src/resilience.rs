@@ -384,6 +384,99 @@ impl CircuitBreaker {
 // Resilient decorator
 // ---------------------------------------------------------------------------
 
+/// Token-bucket tuning for a retry budget.
+///
+/// Retries are a loan against future capacity: when the backend is
+/// healthy they absorb transients cheaply, but during a fault burst an
+/// unbudgeted retry policy multiplies offered load by up to
+/// `1 + max_retries` exactly when the backend can least afford it, and
+/// the re-saturated queue turns one incident into two. The budget caps
+/// that amplification: each top-level query deposits `ratio` tokens (up
+/// to `cap`), each retry withdraws one, so lifetime retries can never
+/// exceed `initial + ratio × queries` — amplification is bounded at
+/// `1 + ratio` in the long run no matter what the fault sequence does.
+#[derive(Debug, Clone)]
+pub struct RetryBudgetConfig {
+    /// Tokens deposited per top-level query (may be fractional).
+    pub ratio: f64,
+    /// Bucket capacity: the largest retry burst the budget will fund.
+    pub cap: f64,
+    /// Tokens in the bucket before the first query.
+    pub initial: f64,
+}
+
+impl Default for RetryBudgetConfig {
+    fn default() -> Self {
+        RetryBudgetConfig {
+            ratio: 1.0,
+            cap: 50.0,
+            initial: 20.0,
+        }
+    }
+}
+
+/// A deterministic retry-budget token bucket (pure state machine; the
+/// owner provides synchronization). See [`RetryBudgetConfig`].
+#[derive(Debug, Clone)]
+pub struct RetryBudget {
+    config: RetryBudgetConfig,
+    tokens: f64,
+    granted: u64,
+    denied: u64,
+}
+
+impl RetryBudget {
+    /// Panics on a nonsensical config (negative ratio/cap, or an initial
+    /// balance above the cap) — construction-time programming errors.
+    pub fn new(config: RetryBudgetConfig) -> Self {
+        assert!(config.ratio >= 0.0, "ratio must be non-negative");
+        assert!(config.cap >= 0.0, "cap must be non-negative");
+        assert!(
+            config.initial >= 0.0 && config.initial <= config.cap,
+            "initial tokens must be in [0, cap]"
+        );
+        RetryBudget {
+            tokens: config.initial,
+            config,
+            granted: 0,
+            denied: 0,
+        }
+    }
+
+    /// Current token balance, always in `[0, cap]`.
+    pub fn tokens(&self) -> f64 {
+        self.tokens
+    }
+
+    /// Retries granted so far.
+    pub fn granted(&self) -> u64 {
+        self.granted
+    }
+
+    /// Retries denied so far.
+    pub fn denied(&self) -> u64 {
+        self.denied
+    }
+
+    /// Deposit for one top-level query, saturating at the cap.
+    pub fn on_query(&mut self) {
+        self.tokens = (self.tokens + self.config.ratio).min(self.config.cap);
+    }
+
+    /// Try to fund one retry: withdraw a token if a whole one is
+    /// available, else deny.
+    pub fn try_retry(&mut self) -> bool {
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            self.granted += 1;
+            true
+        } else {
+            self.denied += 1;
+            false
+        }
+    }
+}
+
 /// Retry/backoff/breaker tuning for a [`ResilientBackend`].
 #[derive(Debug, Clone)]
 pub struct ResilienceConfig {
@@ -406,6 +499,9 @@ pub struct ResilienceConfig {
     /// Seed for jitter draws.
     pub seed: u64,
     pub breaker: BreakerConfig,
+    /// Retry-budget token bucket; `None` leaves retries bounded only by
+    /// `max_retries` per query (unbounded amplification across queries).
+    pub retry_budget: Option<RetryBudgetConfig>,
 }
 
 impl Default for ResilienceConfig {
@@ -420,6 +516,7 @@ impl Default for ResilienceConfig {
             failure_cost_us: 300,
             seed: 0x5eed,
             breaker: BreakerConfig::default(),
+            retry_budget: Some(RetryBudgetConfig::default()),
         }
     }
 }
@@ -450,6 +547,9 @@ pub struct MetricsSnapshot {
     pub breaker_rejections: u64,
     /// Retry attempts across all queries.
     pub retries: u64,
+    /// Retries the token-bucket budget refused to fund (each became a
+    /// terminal failure instead of another attempt).
+    pub retry_budget_denied: u64,
     /// Times the circuit breaker tripped.
     pub breaker_trips: u64,
     /// Successful queries whose hit list was truncated.
@@ -485,6 +585,7 @@ impl MetricsSnapshot {
             failures: self.failures + other.failures,
             breaker_rejections: self.breaker_rejections + other.breaker_rejections,
             retries: self.retries + other.retries,
+            retry_budget_denied: self.retry_budget_denied + other.retry_budget_denied,
             breaker_trips: self.breaker_trips + other.breaker_trips,
             truncated: self.truncated + other.truncated,
             latency: self.latency.merge(&other.latency),
@@ -505,6 +606,7 @@ pub fn breaker_state_name(state: BreakerState) -> &'static str {
 struct ResilientState {
     clock_us: u64,
     breaker: Option<CircuitBreaker>,
+    budget: Option<RetryBudget>,
     queries: u64,
     successes: u64,
     failures: u64,
@@ -528,12 +630,14 @@ pub struct ResilientBackend<B> {
 impl<B: KgBackend> ResilientBackend<B> {
     pub fn new(inner: B, config: ResilienceConfig) -> Self {
         let breaker = CircuitBreaker::new(config.breaker.clone());
+        let budget = config.retry_budget.clone().map(RetryBudget::new);
         ResilientBackend {
             inner,
             config,
             tracer: Tracer::disabled(),
             state: Mutex::new(ResilientState {
                 breaker: Some(breaker),
+                budget,
                 ..ResilientState::default()
             }),
         }
@@ -575,6 +679,7 @@ impl<B: KgBackend> ResilientBackend<B> {
             failures: state.failures,
             breaker_rejections: state.breaker_rejections,
             retries: state.retries,
+            retry_budget_denied: state.budget.as_ref().map_or(0, |b| b.denied()),
             breaker_trips: state.breaker.as_ref().map_or(0, |b| b.trips()),
             truncated: state.truncated,
             latency: state.latency.clone(),
@@ -622,6 +727,9 @@ impl<B: KgBackend> KgBackend for ResilientBackend<B> {
         let mut state = self.lock_state();
         let state = &mut *state;
         state.queries += 1;
+        if let Some(budget) = state.budget.as_mut() {
+            budget.on_query();
+        }
         let query_index = state.queries - 1;
         let started_us = state.clock_us;
         let mut attempt: u32 = 0;
@@ -681,10 +789,27 @@ impl<B: KgBackend> KgBackend for ResilientBackend<B> {
                     self.record_breaker_outcome(state, false);
                     let out_of_budget =
                         state.clock_us - started_us >= deadline.budget_us();
-                    if attempt >= self.config.max_retries
+                    let exhausted = attempt >= self.config.max_retries
                         || !error.is_retryable()
-                        || out_of_budget
-                    {
+                        || out_of_budget;
+                    // Only ask the retry budget to fund attempts the other
+                    // gates would actually allow: a denial must mean "the
+                    // budget stopped a retry", never double-count.
+                    let budget_denied = !exhausted
+                        && match state.budget.as_mut() {
+                            Some(budget) => !budget.try_retry(),
+                            None => false,
+                        };
+                    if budget_denied {
+                        self.tracer.event_with(
+                            "retrieval.retry_denied",
+                            vec![
+                                ("attempt", (attempt + 1).to_string()),
+                                ("error", error.to_string()),
+                            ],
+                        );
+                    }
+                    if exhausted || budget_denied {
                         state.failures += 1;
                         return Err(if attempt == 0 {
                             error
@@ -896,6 +1021,7 @@ mod tests {
             failures: 2,
             breaker_rejections: 1,
             retries: 3,
+            retry_budget_denied: 2,
             breaker_trips: 1,
             truncated: 2,
             latency: hist_of(&[400, 410, 450, 500, 520, 600, 4_000, 9_000]),
@@ -906,6 +1032,7 @@ mod tests {
             failures: 0,
             breaker_rejections: 0,
             retries: 1,
+            retry_budget_denied: 1,
             breaker_trips: 0,
             truncated: 0,
             latency: hist_of(&[700, 710, 800, 900, 1_200]),
@@ -915,6 +1042,7 @@ mod tests {
         assert_eq!(merged.queries, 15);
         assert_eq!(merged.successes, 13);
         assert_eq!(merged.retries, 4);
+        assert_eq!(merged.retry_budget_denied, 3);
         // The merged histogram holds the union of samples, so aggregate
         // percentiles come from real data, not a pessimistic max.
         assert_eq!(merged.latency.count(), 13);
@@ -952,6 +1080,58 @@ mod tests {
         );
         assert_eq!(transitions[0].fields[0], ("from", "closed".to_string()));
         assert_eq!(transitions[0].fields[1], ("to", "open".to_string()));
+    }
+
+    #[test]
+    fn retry_budget_caps_amplification_during_a_fault_burst() {
+        let s = searcher();
+        let run = |retry_budget: Option<RetryBudgetConfig>| {
+            // Transient faults on every call: without a budget each query
+            // burns max_retries + 1 attempts until the breaker trips.
+            let faulty = FaultyBackend::new(&s, FaultConfig::with_fault_rate(13, 1.0));
+            let resilient = ResilientBackend::new(
+                faulty,
+                ResilienceConfig {
+                    retry_budget,
+                    // Keep the breaker out of the way: this test isolates
+                    // the budget's contribution.
+                    breaker: BreakerConfig {
+                        failure_threshold: 1.1,
+                        ..BreakerConfig::default()
+                    },
+                    ..ResilienceConfig::default()
+                },
+            );
+            for _ in 0..60 {
+                let _ = resilient.search_entities("Peter", 3, Deadline::UNBOUNDED);
+            }
+            resilient.metrics()
+        };
+        let tight = RetryBudgetConfig {
+            ratio: 0.1,
+            cap: 5.0,
+            initial: 5.0,
+        };
+        let budgeted = run(Some(tight.clone()));
+        let unbudgeted = run(None);
+        assert_eq!(unbudgeted.retry_budget_denied, 0);
+        assert!(
+            budgeted.retries < unbudgeted.retries,
+            "the budget must cut retry volume: {} vs {}",
+            budgeted.retries,
+            unbudgeted.retries
+        );
+        assert!(budgeted.retry_budget_denied > 0);
+        // The hard bound: lifetime retries <= initial + ratio * queries.
+        let bound = tight.initial + tight.ratio * budgeted.queries as f64;
+        assert!(
+            (budgeted.retries as f64) <= bound,
+            "{} retries exceed the budget bound {bound}",
+            budgeted.retries
+        );
+        // Denials are terminal failures, not silent drops.
+        assert_eq!(budgeted.successes, 0);
+        assert_eq!(budgeted.failures, budgeted.queries);
     }
 
     #[test]

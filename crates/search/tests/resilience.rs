@@ -4,7 +4,7 @@
 use kglink_kg::{Entity, KgBuilder, KnowledgeGraph, NeSchema};
 use kglink_search::{
     backoff_delay_us, BreakerConfig, CircuitBreaker, Deadline, EntitySearcher, FaultConfig,
-    FaultyBackend, KgBackend, ResilienceConfig, ResilientBackend,
+    FaultyBackend, KgBackend, ResilienceConfig, ResilientBackend, RetryBudget, RetryBudgetConfig,
 };
 use proptest::prelude::*;
 
@@ -127,6 +127,40 @@ proptest! {
             let via = via.unwrap();
             prop_assert_eq!(&via.hits, &direct.hits);
             prop_assert!(!via.truncated);
+        }
+    }
+
+    // The token bucket never exceeds its cap and never grants more
+    // lifetime retries than `initial + ratio * queries`, for arbitrary
+    // interleavings of queries and retry attempts.
+    #[test]
+    fn retry_budget_tokens_never_exceed_cap_or_lifetime_bound(
+        ops in proptest::collection::vec(0u8..2, 1..300),
+        ratio_pct in 0u32..300,
+        cap in 0u32..80,
+        initial_pct in 0u32..100,
+    ) {
+        let cap = f64::from(cap);
+        let config = RetryBudgetConfig {
+            ratio: f64::from(ratio_pct) / 100.0,
+            cap,
+            initial: cap * f64::from(initial_pct) / 100.0,
+        };
+        let mut budget = RetryBudget::new(config.clone());
+        let mut queries = 0u64;
+        for op in ops {
+            if op == 0 {
+                budget.on_query();
+                queries += 1;
+            } else {
+                budget.try_retry();
+            }
+            prop_assert!(budget.tokens() <= config.cap + 1e-9,
+                "tokens {} exceed cap {}", budget.tokens(), config.cap);
+            prop_assert!(budget.tokens() >= 0.0);
+            let lifetime_bound = config.initial + config.ratio * queries as f64;
+            prop_assert!(budget.granted() as f64 <= lifetime_bound + 1e-9,
+                "{} grants exceed bound {}", budget.granted(), lifetime_bound);
         }
     }
 }

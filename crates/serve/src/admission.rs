@@ -1,0 +1,213 @@
+//! Adaptive admission control: an AIMD limit driven by a CoDel-style
+//! sojourn signal.
+//!
+//! The static `queue_capacity` of [`BoundedQueue`](crate::BoundedQueue)
+//! protects memory, but it is a terrible *latency* bound: a queue sized
+//! for burst absorption holds seconds of work once arrival rate exceeds
+//! service rate, and every admitted request then blows its deadline —
+//! goodput collapses while the queue stays proudly "bounded".
+//! [`AimdLimit`] closes the loop: workers feed it each request's queue
+//! sojourn (the time between enqueue and pickup), and it clamps the
+//! queue's *effective* admission limit so standing queues drain instead
+//! of growing.
+//!
+//! Two classic ideas compose here:
+//!
+//! * **CoDel's congestion signal** — look at the *minimum* sojourn over a
+//!   window, not the mean or max. A short burst produces a few slow
+//!   sojourns but the minimum stays low as the burst drains; a *standing*
+//!   queue keeps even the luckiest request waiting, so a window minimum
+//!   above target is unambiguous congestion. The window is counted in
+//!   observations, not wall time, which keeps the controller fully
+//!   deterministic for simulated workloads.
+//! * **AIMD** — on a congested window, multiply the limit down (default
+//!   halve); on a healthy window, add a constant. The multiplicative cut
+//!   reacts in one window to any overload magnitude; the additive probe
+//!   recovers capacity slowly enough not to re-trigger.
+//!
+//! The controller is a pure observation-driven state machine: no clocks,
+//! no threads, no locks. The serving layer owns the mutex around it.
+
+/// Tuning for an [`AimdLimit`].
+#[derive(Debug, Clone)]
+pub struct AimdConfig {
+    /// Lower clamp for the limit. Never below 1: the queue must always
+    /// admit *something* or the controller can never observe recovery.
+    pub min_limit: usize,
+    /// Upper clamp for the limit (the uncongested steady state).
+    pub max_limit: usize,
+    /// Additive increase applied after each healthy window.
+    pub increase: usize,
+    /// Multiplicative decrease factor in `(0, 1)` applied on congestion.
+    pub decrease_factor: f64,
+    /// Sojourn target, microseconds: a window whose *minimum* sojourn
+    /// exceeds this is congested (the CoDel standing-queue test).
+    pub target_sojourn_us: u64,
+    /// Observations per control window.
+    pub window: usize,
+}
+
+impl Default for AimdConfig {
+    fn default() -> Self {
+        AimdConfig {
+            min_limit: 2,
+            max_limit: 64,
+            increase: 2,
+            decrease_factor: 0.5,
+            target_sojourn_us: 20_000,
+            window: 16,
+        }
+    }
+}
+
+/// What an [`AimdLimit`] concluded when a window closed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AimdVerdict {
+    /// Window minimum sojourn exceeded target: the limit was cut.
+    Congested,
+    /// Window minimum within target: the limit was (additively) raised.
+    Healthy,
+}
+
+/// AIMD concurrency/queue-depth limiter over a windowed min-sojourn
+/// signal. Feed it one [`observe`](Self::observe) per served request.
+#[derive(Debug, Clone)]
+pub struct AimdLimit {
+    config: AimdConfig,
+    limit: usize,
+    window_min_us: u64,
+    seen: usize,
+}
+
+impl AimdLimit {
+    /// Start optimistic, at `max_limit`. Panics on a nonsensical config
+    /// (zero-size window, inverted clamps, decrease factor outside
+    /// `(0, 1)`): these are construction-time programming errors, not
+    /// runtime conditions.
+    pub fn new(config: AimdConfig) -> Self {
+        assert!(config.min_limit >= 1, "min_limit must be at least 1");
+        assert!(
+            config.min_limit <= config.max_limit,
+            "min_limit must not exceed max_limit"
+        );
+        assert!(
+            config.decrease_factor > 0.0 && config.decrease_factor < 1.0,
+            "decrease_factor must be in (0, 1)"
+        );
+        assert!(config.window >= 1, "window must be at least 1");
+        AimdLimit {
+            limit: config.max_limit,
+            config,
+            window_min_us: u64::MAX,
+            seen: 0,
+        }
+    }
+
+    /// The current admission limit, always within `[min_limit, max_limit]`.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    pub fn config(&self) -> &AimdConfig {
+        &self.config
+    }
+
+    /// Record one request's queue sojourn. Returns a verdict exactly when
+    /// this observation closes a control window (every `window`-th call),
+    /// after the limit has been adjusted.
+    pub fn observe(&mut self, sojourn_us: u64) -> Option<AimdVerdict> {
+        self.window_min_us = self.window_min_us.min(sojourn_us);
+        self.seen += 1;
+        if self.seen < self.config.window {
+            return None;
+        }
+        let verdict = if self.window_min_us > self.config.target_sojourn_us {
+            // Even the fastest request of the window waited too long: a
+            // standing queue, not a burst. Cut multiplicatively.
+            let cut = (self.limit as f64 * self.config.decrease_factor) as usize;
+            self.limit = cut.max(self.config.min_limit);
+            AimdVerdict::Congested
+        } else {
+            self.limit = self
+                .limit
+                .saturating_add(self.config.increase)
+                .min(self.config.max_limit);
+            AimdVerdict::Healthy
+        };
+        self.window_min_us = u64::MAX;
+        self.seen = 0;
+        Some(verdict)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> AimdConfig {
+        AimdConfig {
+            min_limit: 2,
+            max_limit: 32,
+            increase: 2,
+            decrease_factor: 0.5,
+            target_sojourn_us: 1_000,
+            window: 4,
+        }
+    }
+
+    #[test]
+    fn congested_windows_halve_and_healthy_windows_probe_up() {
+        let mut aimd = AimdLimit::new(config());
+        assert_eq!(aimd.limit(), 32);
+        // Three observations do not close the window.
+        for _ in 0..3 {
+            assert_eq!(aimd.observe(5_000), None);
+        }
+        assert_eq!(aimd.observe(5_000), Some(AimdVerdict::Congested));
+        assert_eq!(aimd.limit(), 16);
+        for _ in 0..4 {
+            aimd.observe(5_000);
+        }
+        assert_eq!(aimd.limit(), 8);
+        // Recovery is additive: one healthy window adds `increase`.
+        for _ in 0..4 {
+            aimd.observe(100);
+        }
+        assert_eq!(aimd.limit(), 10);
+    }
+
+    #[test]
+    fn one_fast_request_in_the_window_vetoes_congestion() {
+        // The CoDel property: a burst (some slow sojourns) with one fast
+        // pickup is not a standing queue.
+        let mut aimd = AimdLimit::new(config());
+        aimd.observe(50_000);
+        aimd.observe(50_000);
+        aimd.observe(10); // the burst drained for at least one request
+        assert_eq!(aimd.observe(50_000), Some(AimdVerdict::Healthy));
+        assert_eq!(aimd.limit(), 32, "already at max_limit");
+    }
+
+    #[test]
+    fn limit_clamps_to_min_under_sustained_congestion() {
+        let mut aimd = AimdLimit::new(config());
+        for _ in 0..100 {
+            aimd.observe(1_000_000);
+        }
+        assert_eq!(aimd.limit(), 2);
+        // And recovers to max under sustained health.
+        for _ in 0..100 {
+            aimd.observe(0);
+        }
+        assert_eq!(aimd.limit(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "decrease_factor")]
+    fn rejects_degenerate_decrease_factor() {
+        AimdLimit::new(AimdConfig {
+            decrease_factor: 1.0,
+            ..config()
+        });
+    }
+}

@@ -27,10 +27,22 @@
 //!   snapshots ([`MetricsSnapshot::merge`](kglink_search::MetricsSnapshot))
 //!   with queue, latency, cache, and simulated busy-time accounting.
 //!
+//! * **Overload protection** — an optional
+//!   [`OverloadConfig`](service::OverloadConfig) wires in an AIMD
+//!   admission controller ([`admission::AimdLimit`]) that resizes the
+//!   queue's dynamic limit from queue-sojourn congestion signals, and a
+//!   hysteretic [`brownout::BrownoutController`] that walks requests down
+//!   the three-rung degradation ladder (full retrieval → cache-only →
+//!   no linkage) instead of timing everything out.
+//!
 //! Annotation results are bit-identical across worker counts: each table's
 //! annotation is a pure function of (model, resources, table), and the
 //! cache only ever replays identical retrieval outcomes.
 
+#![deny(deprecated)]
+
+pub mod admission;
+pub mod brownout;
 pub mod error;
 pub mod metered;
 pub mod metrics;
@@ -38,12 +50,17 @@ pub mod queue;
 pub mod service;
 mod worker;
 
+pub use admission::{AimdConfig, AimdLimit, AimdVerdict};
+pub use brownout::{BrownoutConfig, BrownoutController, CacheOnlyBackend};
 pub use error::ServiceError;
 pub use metered::{ExpiredBackend, MeteredBackend};
 pub use metrics::ServiceMetrics;
 pub use queue::{AdmissionPolicy, BoundedQueue, PushError};
-pub use service::{Annotation, AnnotationService, ServiceConfig, SharedBackend, Ticket};
+pub use service::{
+    Annotation, AnnotationService, OverloadConfig, ServiceConfig, SharedBackend, Ticket,
+};
 
 // Re-exported for callers wiring up a service without importing the
 // search crate directly.
+pub use kglink_core::DegradationRung;
 pub use kglink_search::{CacheConfig, CacheStats, Deadline};

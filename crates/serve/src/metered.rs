@@ -58,6 +58,7 @@ impl MeteredBackend {
             failures: self.failures.load(Ordering::Relaxed),
             breaker_rejections: 0,
             retries: 0,
+            retry_budget_denied: 0,
             breaker_trips: 0,
             truncated: self.truncated.load(Ordering::Relaxed),
             // A histogram is re-validatable state: recover from a panicked

@@ -17,6 +17,7 @@
 //! makespan (max worker busy-time) is what scaling experiments assert on —
 //! it is deterministic and independent of host core count.
 
+use kglink_core::DegradationRung;
 use kglink_search::{CacheStats, MetricsSnapshot};
 use std::fmt;
 
@@ -36,6 +37,17 @@ pub struct ServiceMetrics {
     pub expired: u64,
     /// Items currently queued.
     pub queue_depth: usize,
+    /// Current dynamic admission limit. Equals the queue capacity unless
+    /// overload protection is on and the AIMD controller has cut it.
+    pub admission_limit: usize,
+    /// The degradation-ladder rung new requests are currently served at.
+    pub rung: DegradationRung,
+    /// Completions served at rung 0 (full retrieval).
+    pub served_full: u64,
+    /// Completions served at rung 1 (cache-only retrieval).
+    pub served_cache_only: u64,
+    /// Completions served at rung 2 (no linkage), including expired ones.
+    pub served_no_linkage: u64,
     /// Requests currently being annotated by workers.
     pub in_flight: usize,
     /// Columns annotated across all completed requests.
@@ -114,6 +126,15 @@ impl fmt::Display for ServiceMetrics {
             f,
             "load: queue_depth={} in_flight={} latency_p50={}us p99={}us",
             self.queue_depth, self.in_flight, self.latency_p50_us, self.latency_p99_us
+        )?;
+        writeln!(
+            f,
+            "overload: admission_limit={} rung={} served_full={} cache_only={} no_linkage={}",
+            self.admission_limit,
+            self.rung.name(),
+            self.served_full,
+            self.served_cache_only,
+            self.served_no_linkage
         )?;
         writeln!(
             f,

@@ -25,6 +25,7 @@
 //! poison — one crashed worker must not take the whole front door down.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 /// What to do with a new request when the queue is at capacity.
@@ -62,6 +63,10 @@ pub struct BoundedQueue<T> {
     not_empty: Condvar,
     not_full: Condvar,
     capacity: usize,
+    /// Dynamic admission limit in `[1, capacity]`, adjusted by the
+    /// adaptive admission controller. `capacity` stays the hard memory
+    /// bound; this is the *latency* bound the policies enforce.
+    limit: AtomicUsize,
 }
 
 impl<T> BoundedQueue<T> {
@@ -79,11 +84,51 @@ impl<T> BoundedQueue<T> {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity,
+            limit: AtomicUsize::new(capacity),
         }
     }
 
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// The current effective admission limit (`<= capacity`).
+    pub fn limit(&self) -> usize {
+        self.limit.load(Ordering::Relaxed)
+    }
+
+    /// Set the dynamic admission limit, clamped to `[1, capacity]`, and
+    /// return the clamped value. Raising the limit wakes producers parked
+    /// under [`AdmissionPolicy::Block`]. Lowering it does *not* evict
+    /// already-queued items — call [`trim_to_limit`](Self::trim_to_limit)
+    /// for that, so the caller can fail the victims explicitly.
+    pub fn set_limit(&self, limit: usize) -> usize {
+        let clamped = limit.clamp(1, self.capacity);
+        let previous = self.limit.swap(clamped, Ordering::Relaxed);
+        if clamped > previous {
+            self.not_full.notify_all();
+        }
+        clamped
+    }
+
+    /// Evict oldest-first until the depth is within the current limit,
+    /// returning the victims (in eviction order) for the caller to fail
+    /// explicitly. Each victim counts toward the `shed` counter, exactly
+    /// like a `ShedOldest` eviction.
+    pub fn trim_to_limit(&self) -> Vec<T> {
+        let limit = self.limit();
+        let mut state = self.lock_state();
+        let mut victims = Vec::new();
+        while state.items.len() > limit {
+            match state.items.pop_front() {
+                Some(victim) => {
+                    state.shed += 1;
+                    victims.push(victim);
+                }
+                None => break,
+            }
+        }
+        victims
     }
 
     /// Acquire the state lock, recovering from poison (see module docs:
@@ -117,16 +162,19 @@ impl<T> BoundedQueue<T> {
             return Err(PushError::Closed);
         }
         let mut victim = None;
-        if state.items.len() >= self.capacity {
+        let limit = self.limit();
+        if state.items.len() >= limit {
             match policy {
                 AdmissionPolicy::Reject => {
                     return Err(PushError::Rejected {
                         queue_depth: state.items.len(),
-                        capacity: self.capacity,
+                        capacity: limit,
                     });
                 }
                 AdmissionPolicy::Block => {
-                    while state.items.len() >= self.capacity && !state.closed {
+                    // Re-read the limit each wakeup: the admission
+                    // controller may raise it while we are parked.
+                    while state.items.len() >= self.limit() && !state.closed {
                         state = self
                             .not_full
                             .wait(state)
@@ -267,6 +315,57 @@ mod tests {
         assert!(q.is_closed());
         assert_eq!(q.requeue_front(vec![7, 8]), Err(vec![7, 8]));
         assert_eq!(q.requeue_front(Vec::<i32>::new()), Ok(()));
+    }
+
+    #[test]
+    fn dynamic_limit_clamps_admission_below_capacity() {
+        let q = BoundedQueue::new(8);
+        assert_eq!(q.limit(), 8);
+        assert_eq!(q.set_limit(3), 3);
+        for i in 0..3 {
+            q.push(i, AdmissionPolicy::Reject).unwrap();
+        }
+        assert_eq!(
+            q.push(99, AdmissionPolicy::Reject),
+            Err(PushError::Rejected {
+                queue_depth: 3,
+                capacity: 3
+            }),
+            "the effective limit, not the hard capacity, bounds admission"
+        );
+        // The clamp range is [1, capacity].
+        assert_eq!(q.set_limit(0), 1);
+        assert_eq!(q.set_limit(1_000), 8);
+    }
+
+    #[test]
+    fn trim_to_limit_evicts_oldest_and_counts_shed() {
+        let q = BoundedQueue::new(8);
+        for i in 0..6 {
+            q.push(i, AdmissionPolicy::Reject).unwrap();
+        }
+        assert!(q.trim_to_limit().is_empty(), "within limit: no victims");
+        q.set_limit(2);
+        assert_eq!(q.trim_to_limit(), vec![0, 1, 2, 3]);
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.counters(), (6, 4));
+        assert_eq!(q.pop_batch(8), vec![4, 5]);
+    }
+
+    #[test]
+    fn raising_the_limit_unblocks_parked_producers() {
+        let q = Arc::new(BoundedQueue::new(4));
+        q.set_limit(1);
+        q.push(1, AdmissionPolicy::Block).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(2, AdmissionPolicy::Block))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(q.depth(), 1, "producer is parked on the shrunk limit");
+        q.set_limit(2);
+        assert_eq!(producer.join().unwrap(), Ok(None));
+        assert_eq!(q.depth(), 2);
     }
 
     #[test]

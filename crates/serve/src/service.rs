@@ -22,12 +22,14 @@
 //! are independent of worker count and scheduling — the serve tests and
 //! `exp_serve` assert bit-identity between 1-worker and N-worker runs.
 
+use crate::admission::{AimdConfig, AimdLimit};
+use crate::brownout::{self, BrownoutConfig, BrownoutController};
 use crate::error::ServiceError;
 use crate::metered::MeteredBackend;
 use crate::metrics::ServiceMetrics;
 use crate::queue::{AdmissionPolicy, BoundedQueue, PushError};
 use crate::worker::{self, WorkerContext, WorkerExit};
-use kglink_core::KgLink;
+use kglink_core::{DegradationRung, KgLink};
 use kglink_kg::KnowledgeGraph;
 use kglink_nn::Tokenizer;
 use kglink_obs::{Histogram, Tracer};
@@ -42,6 +44,26 @@ use std::time::Instant;
 /// The retrieval stack handed to the service: any [`KgBackend`] decorator
 /// chain behind an `Arc` ([`KgBackend`] is `Send + Sync` by contract).
 pub type SharedBackend = Arc<dyn KgBackend>;
+
+/// Overload-protection wiring: an adaptive admission controller plus the
+/// graceful-degradation ladder. `None` (the default) preserves the static
+/// behavior: admission at full `queue_capacity`, every request served at
+/// rung 0.
+#[derive(Debug, Clone, Default)]
+pub struct OverloadConfig {
+    /// AIMD admission limit driven by queue-sojourn congestion detection.
+    pub aimd: AimdConfig,
+    /// Hysteretic rung selection for the degradation ladder.
+    pub brownout: BrownoutConfig,
+}
+
+/// Admission + brownout controller state, fed one observation per request
+/// by whichever worker dequeues it. One mutex guards both so the limit and
+/// the rung always move on the same signal.
+pub(crate) struct OverloadState {
+    pub aimd: AimdLimit,
+    pub brownout: BrownoutController,
+}
 
 /// Service tuning knobs.
 #[derive(Debug, Clone)]
@@ -75,6 +97,9 @@ pub struct ServiceConfig {
     /// and per-request service spans, plus cache hit/miss counters, land
     /// here. Defaults to [`Tracer::disabled`] (zero overhead).
     pub tracer: Tracer,
+    /// Overload protection (adaptive admission + degradation ladder);
+    /// `None` keeps the static queue behavior.
+    pub overload: Option<OverloadConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -91,6 +116,7 @@ impl Default for ServiceConfig {
             sim_col_cost_us: 2_000,
             restart_budget: 3,
             tracer: Tracer::disabled(),
+            overload: None,
         }
     }
 }
@@ -109,6 +135,9 @@ pub struct Annotation {
     /// True when the deadline expired in the queue and the request was
     /// served entirely through the degraded no-linkage path.
     pub expired: bool,
+    /// The degradation-ladder rung this request was served at. Expired
+    /// requests always report [`DegradationRung::NoLinkage`].
+    pub rung: DegradationRung,
 }
 
 /// Handle for one submitted request; redeem it with [`Ticket::wait`].
@@ -160,10 +189,17 @@ pub(crate) struct Shared {
     pub latency: Mutex<Histogram>,
     /// One slot per worker: simulated busy-time, µs.
     pub sim_busy_us: Vec<AtomicU64>,
+    /// Current degradation-ladder level (0..=2); written by whichever
+    /// worker last consulted the brownout controller.
+    pub rung: AtomicUsize,
+    /// Completions per rung, indexed by [`DegradationRung::level`].
+    pub rung_served: [AtomicU64; 3],
+    /// Overload-controller state; `None` when overload protection is off.
+    pub overload: Option<Mutex<OverloadState>>,
 }
 
 impl Shared {
-    fn new(workers: usize) -> Self {
+    fn new(workers: usize, overload: Option<&OverloadConfig>) -> Self {
         Shared {
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
@@ -180,6 +216,14 @@ impl Shared {
             failed: AtomicBool::new(false),
             latency: Mutex::new(Histogram::new()),
             sim_busy_us: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            rung: AtomicUsize::new(0),
+            rung_served: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+            overload: overload.map(|o| {
+                Mutex::new(OverloadState {
+                    aimd: AimdLimit::new(o.aimd.clone()),
+                    brownout: BrownoutController::new(o.brownout.clone()),
+                })
+            }),
         }
     }
 }
@@ -193,6 +237,7 @@ struct Pool {
     tokenizer: Arc<Tokenizer>,
     queue: Arc<BoundedQueue<Request>>,
     shared: Arc<Shared>,
+    cache: Option<Arc<CachingBackend<SharedBackend>>>,
     max_batch: usize,
     sim_col_cost_us: u64,
     tracer: Tracer,
@@ -213,6 +258,7 @@ impl Pool {
             meter,
             queue: Arc::clone(&self.queue),
             shared: Arc::clone(&self.shared),
+            cache: self.cache.clone(),
             max_batch: self.max_batch,
             sim_col_cost_us: self.sim_col_cost_us,
             tracer: self.tracer.clone(),
@@ -304,6 +350,7 @@ pub struct AnnotationService {
     admission: AdmissionPolicy,
     default_deadline: Deadline,
     restart_budget: usize,
+    tracer: Tracer,
     next_id: AtomicU64,
     started: Instant,
     supervisor: Option<JoinHandle<()>>,
@@ -332,7 +379,17 @@ impl AnnotationService {
             None => backend,
         };
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
-        let shared = Arc::new(Shared::new(config.workers));
+        let shared = Arc::new(Shared::new(config.workers, config.overload.as_ref()));
+        if let Some(overload) = &shared.overload {
+            // Start admission at the controller's optimistic initial limit
+            // (clamped to the physical capacity by `set_limit`).
+            let initial = overload
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .aimd
+                .limit();
+            queue.set_limit(initial);
+        }
         let meters: Vec<Arc<MeteredBackend>> = (0..config.workers)
             .map(|_| Arc::new(MeteredBackend::new(effective.clone())))
             .collect();
@@ -342,6 +399,7 @@ impl AnnotationService {
             tokenizer,
             queue: Arc::clone(&queue),
             shared: Arc::clone(&shared),
+            cache: cache.clone(),
             max_batch: config.max_batch.max(1),
             sim_col_cost_us: config.sim_col_cost_us,
             tracer: config.tracer.clone(),
@@ -349,6 +407,9 @@ impl AnnotationService {
         // Admission-only mode (`workers == 0`) needs no worker threads and
         // therefore no supervisor either.
         let supervisor = if config.workers > 0 {
+            // kglink-lint: allow(unbounded-channel) — worker-exit signal:
+            // at most one message per worker death, bounded by the restart
+            // budget plus the pool size; can never grow under load.
             let (exit_tx, exit_rx) = mpsc::channel();
             let handles: Vec<Option<JoinHandle<()>>> = meters
                 .iter()
@@ -378,6 +439,7 @@ impl AnnotationService {
             admission: config.admission,
             default_deadline: config.default_deadline,
             restart_budget: config.restart_budget,
+            tracer: config.tracer,
             next_id: AtomicU64::new(0),
             // kglink-lint: allow(nondeterminism) — wall-clock uptime for
             // the metrics snapshot only; no annotation output reads it.
@@ -408,6 +470,9 @@ impl AnnotationService {
             });
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        // kglink-lint: allow(unbounded-channel) — per-ticket reply channel:
+        // exactly one message ever flows through it, so "unbounded" holds
+        // at most one item by construction.
         let (tx, rx) = mpsc::channel();
         let request = Request {
             table,
@@ -425,8 +490,7 @@ impl AnnotationService {
             }
             Ok(Some(victim)) => {
                 self.shared.submitted.fetch_add(1, Ordering::Relaxed);
-                self.shared.shed.fetch_add(1, Ordering::Relaxed);
-                let _ = victim.reply.send(Err(ServiceError::Shed));
+                brownout::resolve_shed(victim, &self.shared.shed, &self.tracer);
                 Ok(Ticket { id, rx })
             }
             Err(PushError::Rejected {
@@ -478,6 +542,11 @@ impl AnnotationService {
             shed: self.shared.shed.load(Ordering::Relaxed),
             expired: self.shared.expired.load(Ordering::Relaxed),
             queue_depth: self.queue.depth(),
+            admission_limit: self.queue.limit(),
+            rung: DegradationRung::from_level(self.shared.rung.load(Ordering::Relaxed) as u8),
+            served_full: self.shared.rung_served[0].load(Ordering::Relaxed),
+            served_cache_only: self.shared.rung_served[1].load(Ordering::Relaxed),
+            served_no_linkage: self.shared.rung_served[2].load(Ordering::Relaxed),
             in_flight: self.shared.in_flight.load(Ordering::SeqCst),
             annotated_columns: self.shared.annotated_columns.load(Ordering::Relaxed),
             degraded_columns: self.shared.degraded_columns.load(Ordering::Relaxed),

@@ -11,7 +11,16 @@
 //! [`ExpiredBackend`], so every retrieval fails instantly and the pipeline
 //! produces a pure-PLM, no-linkage annotation with the correct arity.
 //! A request with budget left passes only the *remaining* budget into
-//! [`KgLink::annotate_outcome`], which tightens every KG query it issues.
+//! [`KgLink::annotate_request`], which tightens every KG query it issues.
+//!
+//! Overload control also happens here: when the service is configured
+//! with an [`OverloadConfig`](crate::service::OverloadConfig), each
+//! dequeue feeds the request's queue sojourn into the shared
+//! [`AimdLimit`](crate::admission::AimdLimit) (which resizes the queue's
+//! dynamic admission limit, shedding the overflow promptly) and the
+//! [`BrownoutController`](crate::brownout::BrownoutController) (which
+//! picks the [`DegradationRung`] this request is served at: full
+//! retrieval, cache-only, or no linkage).
 //!
 //! Simulated busy-time accounting: each table charges the worker the
 //! simulated retrieval microseconds it consumed (read off the meter)
@@ -30,16 +39,17 @@
 //! with [`WorkerExit::Panicked`], letting the supervisor decide whether
 //! to respawn it.
 
+use crate::brownout::{self, CacheOnlyBackend};
 use crate::error::ServiceError;
 use crate::metered::{ExpiredBackend, MeteredBackend};
 use crate::queue::BoundedQueue;
-use crate::service::{Annotation, Request, Shared};
+use crate::service::{Annotation, Request, Shared, SharedBackend};
 use kglink_core::pipeline::{req, Resources};
-use kglink_core::KgLink;
+use kglink_core::{DegradationRung, KgLink};
 use kglink_kg::KnowledgeGraph;
 use kglink_nn::Tokenizer;
 use kglink_obs::Tracer;
-use kglink_search::Deadline;
+use kglink_search::{CachingBackend, Deadline};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
@@ -54,6 +64,7 @@ pub(crate) struct WorkerContext {
     pub meter: Arc<MeteredBackend>,
     pub queue: Arc<BoundedQueue<Request>>,
     pub shared: Arc<Shared>,
+    pub cache: Option<Arc<CachingBackend<SharedBackend>>>,
     pub max_batch: usize,
     pub sim_col_cost_us: u64,
     pub tracer: Tracer,
@@ -148,30 +159,103 @@ pub(crate) fn run(ctx: WorkerContext) -> WorkerExit {
     }
 }
 
+/// Feed one queue-sojourn observation to the overload controllers (when
+/// configured) and return the rung to serve this request at. When the
+/// admission controller closes a window, the queue's dynamic limit is
+/// resized and any overflow is shed promptly.
+fn overload_control(ctx: &WorkerContext, sojourn_us: u64) -> DegradationRung {
+    let Some(overload) = ctx.shared.overload.as_ref() else {
+        return DegradationRung::Full;
+    };
+    // Controller state is a pair of small pure state machines: always
+    // re-validatable, so recover from a panicked sibling's poison.
+    let mut state = overload.lock().unwrap_or_else(PoisonError::into_inner);
+    let verdict = state.aimd.observe(sojourn_us);
+    let limit = state.aimd.limit();
+    let rung = state.brownout.observe(sojourn_us);
+    drop(state);
+    if let Some(verdict) = verdict {
+        let previous = ctx.queue.set_limit(limit);
+        if limit != previous {
+            let trimmed =
+                brownout::trim_queue_to_limit(&ctx.queue, &ctx.shared.shed, &ctx.tracer);
+            ctx.tracer.event_with(
+                "serve.admission_limit",
+                vec![
+                    ("verdict", format!("{verdict:?}")),
+                    ("limit", limit.to_string()),
+                    ("previous", previous.to_string()),
+                    ("trimmed", trimmed.to_string()),
+                ],
+            );
+        }
+    }
+    let level = rung.level() as usize;
+    let previous_level = ctx.shared.rung.swap(level, Ordering::Relaxed);
+    if previous_level != level {
+        ctx.tracer.incr("serve.rung_change", 1);
+        ctx.tracer.event_with(
+            "serve.rung_change",
+            vec![
+                ("from", DegradationRung::from_level(previous_level as u8).name().to_string()),
+                ("to", rung.name().to_string()),
+            ],
+        );
+    }
+    rung
+}
+
 fn serve_request(ctx: &WorkerContext, request: &Request) -> Annotation {
     let wait_us = request.enqueued.elapsed().as_micros() as u64;
     // Queue wait is dead time before service starts, so it is a stage
     // timer, not a span: `serve.request` below covers service time only.
     ctx.tracer.record_us("serve.queue_wait", wait_us);
+    let rung = overload_control(ctx, wait_us);
     let _request_span = ctx.tracer.span("serve.request");
     let budget = request.deadline.budget_us();
     let expired = !request.deadline.is_unbounded() && wait_us >= budget;
 
     let sim_before = ctx.meter.sim_latency_us();
-    let outcome = if expired {
+    let (outcome, served_rung) = if expired {
         // Out of budget: every retrieval fails instantly and the pipeline
         // degrades to its no-linkage path. Arity is preserved; no panic.
         let resources = worker_resources(ctx, &ExpiredBackend);
-        ctx.model.annotate_request(&resources, req(&request.table))
+        let outcome = ctx
+            .model
+            .annotate_request(&resources, req(&request.table).rung(DegradationRung::NoLinkage));
+        (outcome, DegradationRung::NoLinkage)
     } else {
         let remaining = if request.deadline.is_unbounded() {
             Deadline::UNBOUNDED
         } else {
             Deadline::from_us(budget - wait_us)
         };
-        let resources = worker_resources(ctx, ctx.meter.as_ref());
-        ctx.model
-            .annotate_request(&resources, req(&request.table).deadline(remaining))
+        // A cache-only rung without a cache has nothing to serve hits
+        // from: fold it into the no-linkage rung so the recorded rung
+        // matches what actually happened.
+        let effective = match rung {
+            DegradationRung::CacheOnly if ctx.cache.is_none() => DegradationRung::NoLinkage,
+            other => other,
+        };
+        let spec = req(&request.table).deadline(remaining).rung(effective);
+        let outcome = match (effective, ctx.cache.as_ref()) {
+            (DegradationRung::Full, _) => {
+                let resources = worker_resources(ctx, ctx.meter.as_ref());
+                ctx.model.annotate_request(&resources, spec)
+            }
+            (DegradationRung::CacheOnly, Some(cache)) => {
+                let cache_only = CacheOnlyBackend::new(cache);
+                let resources = worker_resources(ctx, &cache_only);
+                ctx.model.annotate_request(&resources, spec)
+            }
+            // `effective` folds a cache-less CacheOnly into NoLinkage
+            // above, so this arm doubles as the NoLinkage path.
+            (_, _) => {
+                let resources = worker_resources(ctx, &ExpiredBackend);
+                ctx.model.annotate_request(&resources, spec)
+            }
+        };
+        (outcome, effective)
     };
     let sim_retrieval_us = ctx.meter.sim_latency_us() - sim_before;
     let sim_cost_us = sim_retrieval_us + ctx.sim_col_cost_us * request.table.n_cols() as u64;
@@ -183,6 +267,7 @@ fn serve_request(ctx: &WorkerContext, request: &Request) -> Annotation {
         failed_cells: outcome.failed_cells,
         queue_us: wait_us,
         expired,
+        rung: served_rung,
     }
 }
 
@@ -220,6 +305,7 @@ fn record_completion(ctx: &WorkerContext, annotation: &Annotation, total_us: u64
     shared
         .failed_cells
         .fetch_add(annotation.failed_cells as u64, Ordering::Relaxed);
+    shared.rung_served[annotation.rung.level() as usize].fetch_add(1, Ordering::Relaxed);
     shared
         .latency
         .lock()

@@ -1,0 +1,121 @@
+//! Property tests for the overload controllers: the AIMD admission limit
+//! stays inside its clamps and cuts multiplicatively on congestion, and
+//! the brownout ladder is monotone — rising load never selects a *less*
+//! degraded rung until the hysteresis window has actually elapsed.
+
+use kglink_core::DegradationRung;
+use kglink_serve::{AimdConfig, AimdLimit, AimdVerdict, BrownoutConfig, BrownoutController};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    // For any observation sequence and any sane config, the limit never
+    // leaves [min_limit, max_limit].
+    #[test]
+    fn aimd_limit_stays_within_clamps(
+        sojourns in proptest::collection::vec(0u64..1_000_000, 1..200),
+        min_limit in 1usize..8,
+        extra in 0usize..64,
+        increase in 1usize..8,
+        window in 1usize..12,
+        target in 1u64..100_000,
+    ) {
+        let max_limit = min_limit + extra;
+        let mut aimd = AimdLimit::new(AimdConfig {
+            min_limit,
+            max_limit,
+            increase,
+            decrease_factor: 0.5,
+            target_sojourn_us: target,
+            window,
+        });
+        for s in sojourns {
+            aimd.observe(s);
+            prop_assert!(aimd.limit() >= min_limit && aimd.limit() <= max_limit,
+                "limit {} escaped [{}, {}]", aimd.limit(), min_limit, max_limit);
+        }
+    }
+
+    // Every congested window cuts the limit by the decrease factor (down
+    // to the clamp); every healthy window raises it by at most `increase`.
+    #[test]
+    fn aimd_congestion_halves_and_health_probes_additively(
+        sojourns in proptest::collection::vec(0u64..1_000_000, 1..200),
+        window in 1usize..12,
+    ) {
+        let config = AimdConfig {
+            min_limit: 2,
+            max_limit: 64,
+            increase: 2,
+            decrease_factor: 0.5,
+            target_sojourn_us: 20_000,
+            window,
+        };
+        let mut aimd = AimdLimit::new(config.clone());
+        for s in sojourns {
+            let before = aimd.limit();
+            match aimd.observe(s) {
+                None => prop_assert_eq!(aimd.limit(), before, "limit moved mid-window"),
+                Some(AimdVerdict::Congested) => {
+                    let expected = ((before as f64 * config.decrease_factor) as usize)
+                        .max(config.min_limit);
+                    prop_assert_eq!(aimd.limit(), expected);
+                }
+                Some(AimdVerdict::Healthy) => {
+                    let expected = (before + config.increase).min(config.max_limit);
+                    prop_assert_eq!(aimd.limit(), expected);
+                }
+            }
+        }
+    }
+
+    // Ladder monotonicity: the served rung never drops below what the
+    // current observation demands, and it only ever steps *down* after
+    // `hysteresis` consecutive healthy observations — never sooner.
+    #[test]
+    fn brownout_ladder_is_monotone_under_load(
+        sojourns in proptest::collection::vec(0u64..300_000, 1..300),
+        hysteresis in 1u32..10,
+    ) {
+        let config = BrownoutConfig {
+            enter_cache_only_us: 40_000,
+            enter_no_linkage_us: 120_000,
+            exit_us: 10_000,
+            hysteresis,
+        };
+        let mut b = BrownoutController::new(config.clone());
+        let mut previous = b.rung();
+        let mut healthy_streak = 0u32;
+        for s in sojourns {
+            let demanded = if s >= config.enter_no_linkage_us {
+                DegradationRung::NoLinkage
+            } else if s >= config.enter_cache_only_us {
+                DegradationRung::CacheOnly
+            } else {
+                DegradationRung::Full
+            };
+            let rung = b.observe(s);
+            // Never serve better than the signal demands.
+            prop_assert!(rung >= demanded,
+                "sojourn {} demanded {:?} but controller served {:?}", s, demanded, rung);
+            // De-escalation is one rung at a time and only after the
+            // streak: without `hysteresis` consecutive healthy
+            // observations the rung must not improve.
+            if rung < previous {
+                prop_assert_eq!(rung.level(), previous.level() - 1, "skipped a rung down");
+                prop_assert!(healthy_streak + 1 >= hysteresis,
+                    "stepped down after only {} healthy observations", healthy_streak + 1);
+            }
+            if s < config.exit_us && demanded <= previous {
+                healthy_streak += 1;
+            } else {
+                healthy_streak = 0;
+            }
+            if rung < previous {
+                healthy_streak = 0;
+            }
+            previous = rung;
+        }
+    }
+}

@@ -14,6 +14,8 @@
 //! * [`metrics`] — accuracy, weighted/macro F1 and per-class reports, the
 //!   evaluation metrics of every table in the paper.
 
+#![deny(deprecated)]
+
 pub mod cell;
 pub mod csv;
 pub mod dataset;

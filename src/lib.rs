@@ -1,4 +1,6 @@
 //! Facade crate: re-exports the whole KGLink workspace under one name.
+#![deny(deprecated)]
+
 pub use kglink_baselines as baselines;
 pub use kglink_core as core;
 pub use kglink_datagen as datagen;

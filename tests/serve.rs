@@ -16,7 +16,8 @@ use kglink::search::{
     CacheConfig, CachingBackend, Deadline, EntitySearcher, FaultConfig, FaultyBackend,
 };
 use kglink::serve::{
-    AdmissionPolicy, AnnotationService, ServiceConfig, ServiceError, SharedBackend,
+    AdmissionPolicy, AimdConfig, AnnotationService, BrownoutConfig, DegradationRung,
+    OverloadConfig, ServiceConfig, ServiceError, SharedBackend,
 };
 use kglink::table::{LabelId, Table};
 use std::sync::{Arc, OnceLock};
@@ -184,6 +185,171 @@ fn shed_oldest_fails_the_oldest_ticket() {
     assert_eq!(m.queue_depth, 1);
     drop(svc);
     assert_eq!(newest.wait(), Err(ServiceError::Closed));
+}
+
+#[test]
+fn shed_tickets_resolve_promptly_and_are_published_in_metrics() {
+    // Regression for eviction accounting: the shed victim's ticket must
+    // resolve with the typed error *immediately* at eviction time — not
+    // at service drop — and every eviction path must land in the same
+    // `shed` counter the metrics snapshot publishes.
+    let fx = fixture();
+    let svc = service(
+        fx,
+        ServiceConfig {
+            workers: 0,
+            queue_capacity: 2,
+            admission: AdmissionPolicy::ShedOldest,
+            ..ServiceConfig::default()
+        },
+    );
+    let first = svc.submit(fx.tables[0].clone()).expect("admitted");
+    let second = svc.submit(fx.tables[1].clone()).expect("admitted");
+    let _third = svc.submit(fx.tables[2].clone()).expect("admitted by shedding");
+    let _fourth = svc.submit(fx.tables[3].clone()).expect("admitted by shedding");
+    // Both victims are already resolved while the service is still alive.
+    assert_eq!(first.wait(), Err(ServiceError::Shed));
+    assert_eq!(second.wait(), Err(ServiceError::Shed));
+    let m = svc.metrics();
+    assert_eq!(m.shed, 2, "every eviction must be counted exactly once");
+    assert_eq!(m.submitted, 4);
+    assert_eq!(m.queue_depth, 2);
+}
+
+#[test]
+fn adaptive_admission_clamps_below_the_physical_capacity() {
+    // With overload protection on, admission happens at the AIMD limit,
+    // not at `queue_capacity`: min_limit == max_limit pins the limit so
+    // the behavior is deterministic with no workers draining.
+    let fx = fixture();
+    let svc = service(
+        fx,
+        ServiceConfig {
+            workers: 0,
+            queue_capacity: 8,
+            admission: AdmissionPolicy::Reject,
+            overload: Some(OverloadConfig {
+                aimd: AimdConfig {
+                    min_limit: 2,
+                    max_limit: 2,
+                    ..AimdConfig::default()
+                },
+                brownout: BrownoutConfig::default(),
+            }),
+            ..ServiceConfig::default()
+        },
+    );
+    let _t1 = svc.submit(fx.tables[0].clone()).expect("slot 1");
+    let _t2 = svc.submit(fx.tables[1].clone()).expect("slot 2");
+    match svc.submit(fx.tables[2].clone()) {
+        Err(ServiceError::Overloaded {
+            queue_depth,
+            capacity,
+        }) => {
+            assert_eq!(queue_depth, 2);
+            assert_eq!(capacity, 2, "the reported bound is the dynamic limit");
+        }
+        other => panic!("expected Overloaded at the clamped limit, got {:?}", other.map(|t| t.id())),
+    }
+    let m = svc.metrics();
+    assert_eq!(m.admission_limit, 2);
+    assert_eq!(m.rejected, 1);
+}
+
+#[test]
+fn pinned_no_linkage_rung_is_bit_identical_to_the_dead_backend_baseline() {
+    let fx = fixture();
+    let svc = service(
+        fx,
+        ServiceConfig {
+            workers: 2,
+            cache: None,
+            overload: Some(OverloadConfig {
+                brownout: BrownoutConfig::pinned(DegradationRung::NoLinkage),
+                ..OverloadConfig::default()
+            }),
+            ..ServiceConfig::default()
+        },
+    );
+    let dead = FaultyBackend::new(fx.searcher.as_ref(), FaultConfig::with_fault_rate(411, 1.0));
+    let dead_resources = fx.resources_with(&dead);
+    let tickets = svc.submit_batch(fx.tables.iter().cloned());
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let annotation = ticket.expect("admitted").wait().expect("degraded, not failed");
+        assert_eq!(annotation.rung, DegradationRung::NoLinkage);
+        assert!(!annotation.expired, "brownout is not a deadline expiry");
+        assert_eq!(
+            annotation.labels,
+            fx.model
+                .annotate_request(&dead_resources, req(&fx.tables[i]))
+                .labels,
+            "table {i}: rung-2 output must equal the no-linkage baseline"
+        );
+    }
+    let m = svc.metrics();
+    assert_eq!(m.served_no_linkage, fx.tables.len() as u64);
+    assert_eq!(m.served_full, 0);
+    assert_eq!(m.rung, DegradationRung::NoLinkage);
+}
+
+#[test]
+fn cold_cache_only_rung_matches_no_linkage_and_records_its_rung() {
+    let fx = fixture();
+    let pinned = |cache| {
+        service(
+            fx,
+            ServiceConfig {
+                workers: 1,
+                cache,
+                overload: Some(OverloadConfig {
+                    brownout: BrownoutConfig::pinned(DegradationRung::CacheOnly),
+                    ..OverloadConfig::default()
+                }),
+                ..ServiceConfig::default()
+            },
+        )
+    };
+    // With a (stone-cold) cache: every lookup misses, every column takes
+    // the degraded path — bit-identical to rung 2, but recorded as rung 1.
+    let svc = pinned(Some(CacheConfig::default()));
+    let dead = FaultyBackend::new(fx.searcher.as_ref(), FaultConfig::with_fault_rate(411, 1.0));
+    let dead_resources = fx.resources_with(&dead);
+    let table = &fx.tables[0];
+    let annotation = svc.annotate(table.clone()).expect("degraded, not failed");
+    assert_eq!(annotation.rung, DegradationRung::CacheOnly);
+    assert_eq!(
+        annotation.labels,
+        fx.model.annotate_request(&dead_resources, req(table)).labels
+    );
+    assert_eq!(svc.metrics().served_cache_only, 1);
+    // Without a cache there is nothing to serve hits from: the rung folds
+    // into no-linkage and is recorded as what actually happened.
+    let svc = pinned(None);
+    let annotation = svc.annotate(table.clone()).expect("degraded, not failed");
+    assert_eq!(annotation.rung, DegradationRung::NoLinkage);
+    assert_eq!(svc.metrics().served_no_linkage, 1);
+}
+
+#[test]
+fn default_config_serves_everything_at_full_retrieval() {
+    let fx = fixture();
+    let svc = service(
+        fx,
+        ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        },
+    );
+    let annotation = svc.annotate(fx.tables[0].clone()).expect("served");
+    assert_eq!(annotation.rung, DegradationRung::Full);
+    let m = svc.metrics();
+    assert_eq!(m.served_full, 1);
+    assert_eq!(m.rung, DegradationRung::Full);
+    assert_eq!(
+        m.admission_limit,
+        ServiceConfig::default().queue_capacity,
+        "without overload protection the limit is the physical capacity"
+    );
 }
 
 #[test]
