@@ -236,7 +236,7 @@ fn main() {
         }
     }));
     let model = Arc::new(baseline);
-    let graph = Arc::new(env.world.graph.clone());
+    let graph: Arc<dyn kglink_kg::GraphAccess> = Arc::new(env.world.graph.clone());
     let tokenizer = Arc::new(env.tokenizer.clone());
     let searcher = Arc::new(kglink_search::EntitySearcher::build(&env.world.graph));
     let tables: Vec<Table> = dataset

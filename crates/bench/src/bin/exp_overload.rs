@@ -217,7 +217,7 @@ fn main() {
         .collect();
 
     let model = Arc::new(model);
-    let graph = Arc::new(env.world.graph.clone());
+    let graph: Arc<dyn kglink_kg::GraphAccess> = Arc::new(env.world.graph.clone());
     let tokenizer = Arc::new(env.tokenizer.clone());
     let searcher = Arc::new(EntitySearcher::build(&env.world.graph));
     let pinned_service = |rung: DegradationRung, cache: Option<CacheConfig>| {

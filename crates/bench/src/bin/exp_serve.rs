@@ -103,7 +103,7 @@ fn main() {
     // latency-injecting (but fault-free) decorator over BM25, so simulated
     // retrieval time is non-trivial and the cache has something to save.
     let model = Arc::new(model);
-    let graph = Arc::new(env.world.graph.clone());
+    let graph: Arc<dyn kglink_kg::GraphAccess> = Arc::new(env.world.graph.clone());
     let tokenizer = Arc::new(env.tokenizer.clone());
     let searcher = Arc::new(EntitySearcher::build(&env.world.graph));
 

@@ -1,7 +1,7 @@
 //! Part 1, Step 3: candidate type generation (paper Eq. 7–8).
 
 use crate::filter::FilteredTable;
-use kglink_kg::{EntityId, KnowledgeGraph};
+use kglink_kg::{EntityId, GraphAccess};
 use std::collections::HashMap;
 
 /// A scored candidate type for one column.
@@ -24,7 +24,7 @@ pub struct CandidateType {
 /// rows.
 pub fn candidate_types(
     filtered: &FilteredTable,
-    graph: &KnowledgeGraph,
+    graph: &dyn GraphAccess,
     max_types: usize,
 ) -> Vec<Vec<CandidateType>> {
     let n_cols = filtered.cells.len();
@@ -42,7 +42,7 @@ pub fn candidate_types(
                     .entry(pe.entity)
                     .or_insert_with(|| graph.one_hop(pe.entity));
                 for &ct in neighbors.iter() {
-                    if !graph.entity(ct).schema.eligible_as_type() {
+                    if !graph.schema_of(ct).eligible_as_type() {
                         continue;
                     }
                     *scores.entry(ct).or_insert(0.0) += pe.overlap_score as f64;

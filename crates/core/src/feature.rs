@@ -1,7 +1,7 @@
 //! Part 1, feature sequence construction (paper Eq. 9).
 
 use crate::filter::FilteredTable;
-use kglink_kg::KnowledgeGraph;
+use kglink_kg::GraphAccess;
 
 /// Build the feature sequence `S(e)` for every column of a filtered table.
 ///
@@ -16,7 +16,7 @@ use kglink_kg::KnowledgeGraph;
 /// to neighbor `o`. Columns with no linked entity (numeric columns, or no
 /// KG match at all) yield `None`, which the serializer turns into a padding
 /// sequence.
-pub fn feature_sequences(filtered: &FilteredTable, graph: &KnowledgeGraph) -> Vec<Option<String>> {
+pub fn feature_sequences(filtered: &FilteredTable, graph: &dyn GraphAccess) -> Vec<Option<String>> {
     filtered
         .cells
         .iter()
@@ -25,10 +25,10 @@ pub fn feature_sequences(filtered: &FilteredTable, graph: &KnowledgeGraph) -> Ve
             // this is the best-linked row for the column.
             let best = col.iter().find_map(|cell| cell.best_entity());
             best.map(|pe| {
-                let mut parts = vec![graph.label(pe.entity).to_string()];
+                let mut parts = vec![graph.label(pe.entity)];
                 for (p, o) in graph.one_hop_with_predicates(pe.entity) {
-                    parts.push(graph.predicate_name(p).to_string());
-                    parts.push(graph.label(o).to_string());
+                    parts.push(graph.predicate_name(p));
+                    parts.push(graph.label(o));
                 }
                 parts.join(" ")
             })

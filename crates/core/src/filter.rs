@@ -2,7 +2,7 @@
 
 use crate::config::RowFilter;
 use crate::linking::LinkedTable;
-use kglink_kg::{EntityId, KnowledgeGraph};
+use kglink_kg::{EntityId, GraphAccess};
 use kglink_table::Table;
 use std::collections::HashMap;
 
@@ -70,7 +70,7 @@ pub struct FilteredTable {
 pub fn prune_and_filter(
     table: &Table,
     linked: &LinkedTable,
-    graph: &KnowledgeGraph,
+    graph: &dyn GraphAccess,
     k: usize,
     row_filter: RowFilter,
 ) -> FilteredTable {

@@ -6,7 +6,7 @@ use crate::model::KgLinkModel;
 use crate::preprocess::{Preprocessor, ProcessedTable};
 use crate::train::{self, prepare_tables};
 pub use crate::train::{FitOptions, GuardPolicy, TrainReport};
-use kglink_kg::KnowledgeGraph;
+use kglink_kg::GraphAccess;
 use kglink_nn::layers::param::HasParams;
 use kglink_nn::serialize::load_params;
 use kglink_nn::{Tokenizer, Vocab};
@@ -22,7 +22,7 @@ use kglink_table::{Dataset, EvalSummary, LabelId, LabelVocab, Split, Table};
 /// Construct through [`Resources::builder`], which validates the bundle
 /// instead of allowing inconsistent states.
 pub struct Resources<'a> {
-    pub graph: &'a KnowledgeGraph,
+    pub graph: &'a (dyn GraphAccess + 'a),
     pub backend: &'a (dyn KgBackend + 'a),
     pub tokenizer: &'a Tokenizer,
     /// Serialized encoder weights from MLM pre-training (the BERT
@@ -46,7 +46,7 @@ impl<'a> Resources<'a> {
                 inconsistent states"
     )]
     pub fn new(
-        graph: &'a KnowledgeGraph,
+        graph: &'a (dyn GraphAccess + 'a),
         backend: &'a (dyn KgBackend + 'a),
         tokenizer: &'a Tokenizer,
     ) -> Self {
@@ -77,7 +77,7 @@ impl<'a> Resources<'a> {
 /// vocabulary is empty (an annotator over it could never see a token).
 #[derive(Default)]
 pub struct ResourcesBuilder<'a> {
-    graph: Option<&'a KnowledgeGraph>,
+    graph: Option<&'a (dyn GraphAccess + 'a)>,
     backend: Option<&'a (dyn KgBackend + 'a)>,
     tokenizer: Option<&'a Tokenizer>,
     pretrained_encoder: Option<&'a [u8]>,
@@ -85,8 +85,10 @@ pub struct ResourcesBuilder<'a> {
 }
 
 impl<'a> ResourcesBuilder<'a> {
-    /// The knowledge graph candidates and feature sequences come from.
-    pub fn graph(mut self, graph: &'a KnowledgeGraph) -> Self {
+    /// The knowledge graph candidates and feature sequences come from —
+    /// the in-memory [`kglink_kg::KnowledgeGraph`] or any other
+    /// [`GraphAccess`] store (e.g. `kglink-store`'s disk-backed world).
+    pub fn graph(mut self, graph: &'a (dyn GraphAccess + 'a)) -> Self {
         self.graph = Some(graph);
         self
     }

@@ -12,7 +12,7 @@ use crate::error::KgLinkError;
 use crate::feature::feature_sequences;
 use crate::filter::prune_and_filter;
 use crate::linking::LinkedTable;
-use kglink_kg::KnowledgeGraph;
+use kglink_kg::GraphAccess;
 use kglink_obs::Tracer;
 use kglink_search::{Deadline, KgBackend};
 use kglink_table::table::NumericStats;
@@ -59,7 +59,7 @@ impl ProcessedTable {
 
 /// Runs Part 1 for tables against a fixed KG + retrieval backend.
 pub struct Preprocessor<'a> {
-    pub graph: &'a KnowledgeGraph,
+    pub graph: &'a (dyn GraphAccess + 'a),
     pub backend: &'a (dyn KgBackend + 'a),
     pub config: KgLinkConfig,
     /// Observability sink for the `retrieval` / `filter` / `feature` stage
@@ -69,7 +69,7 @@ pub struct Preprocessor<'a> {
 
 impl<'a> Preprocessor<'a> {
     pub fn new(
-        graph: &'a KnowledgeGraph,
+        graph: &'a (dyn GraphAccess + 'a),
         backend: &'a (dyn KgBackend + 'a),
         config: KgLinkConfig,
     ) -> Self {
@@ -125,7 +125,7 @@ impl<'a> Preprocessor<'a> {
 /// [`ProcessedTable::degraded`] / [`ProcessedTable::failed_cells`].
 pub fn preprocess_table(
     table: &Table,
-    graph: &KnowledgeGraph,
+    graph: &dyn GraphAccess,
     backend: &dyn KgBackend,
     config: &KgLinkConfig,
 ) -> ProcessedTable {
@@ -138,7 +138,7 @@ pub fn preprocess_table(
 /// event while the `retrieval` span is open, so event order is causal.
 pub fn preprocess_table_traced(
     table: &Table,
-    graph: &KnowledgeGraph,
+    graph: &dyn GraphAccess,
     backend: &dyn KgBackend,
     config: &KgLinkConfig,
     tracer: &Tracer,
@@ -197,7 +197,7 @@ pub fn preprocess_table_traced(
         .iter()
         .map(|col| {
             col.iter()
-                .map(|ct| graph.label(ct.entity).to_string())
+                .map(|ct| graph.label(ct.entity))
                 .collect()
         })
         .collect();

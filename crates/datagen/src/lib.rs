@@ -24,6 +24,7 @@
 
 #![deny(deprecated)]
 
+pub mod bigworld;
 pub mod common;
 pub mod corpus;
 pub mod noise;
@@ -34,6 +35,7 @@ use kglink_kg::EntityId;
 use kglink_table::{Dataset, LabelId};
 use std::collections::HashMap;
 
+pub use bigworld::{generate_big_world, BigWorld, BigWorldConfig};
 pub use corpus::pretrain_corpus;
 pub use semtab::{semtab_like, SemTabConfig};
 pub use viznet::{viznet_like, VizNetConfig};

@@ -91,6 +91,14 @@ impl KnowledgeGraph {
         &self.predicates[p.index()]
     }
 
+    /// Number of interned predicates. Predicate ids are dense, so
+    /// `0..predicate_count()` enumerates them (converters that re-intern a
+    /// graph's vocabulary in id order depend on this).
+    #[inline]
+    pub fn predicate_count(&self) -> usize {
+        self.predicates.len()
+    }
+
     /// Append an entity, returning its id.
     pub fn add_entity(&mut self, entity: Entity) -> EntityId {
         // kglink-lint: allow(panic-in-lib) — capacity guard: EntityId is u32

@@ -21,6 +21,7 @@
 
 #![deny(deprecated)]
 
+pub mod access;
 pub mod builder;
 pub mod entity;
 pub mod graph;
@@ -29,6 +30,7 @@ pub mod ontology;
 pub mod stats;
 pub mod synthetic;
 
+pub use access::GraphAccess;
 pub use builder::KgBuilder;
 pub use entity::{Entity, EntityId, NeSchema, PredicateId};
 pub use graph::{Edge, KnowledgeGraph};

@@ -5,19 +5,19 @@
 //! label is `Name` (coarse, possibly outside the hierarchy entirely). These
 //! helpers let experiments quantify that gap.
 
+use crate::access::GraphAccess;
 use crate::entity::EntityId;
-use crate::graph::KnowledgeGraph;
 use std::collections::{BTreeSet, VecDeque};
 
-/// A view over the `subclass of` lattice of a graph.
-#[derive(Debug, Clone, Copy)]
+/// A view over the `subclass of` lattice of any [`GraphAccess`] store.
+#[derive(Clone, Copy)]
 pub struct TypeHierarchy<'g> {
-    graph: &'g KnowledgeGraph,
+    graph: &'g (dyn GraphAccess + 'g),
 }
 
 impl<'g> TypeHierarchy<'g> {
     /// Wrap a graph.
-    pub fn new(graph: &'g KnowledgeGraph) -> Self {
+    pub fn new(graph: &'g (dyn GraphAccess + 'g)) -> Self {
         TypeHierarchy { graph }
     }
 
@@ -76,6 +76,7 @@ impl<'g> TypeHierarchy<'g> {
 mod tests {
     use super::*;
     use crate::builder::KgBuilder;
+    use crate::graph::KnowledgeGraph;
 
     fn hierarchy() -> (KnowledgeGraph, EntityId, EntityId, EntityId, EntityId) {
         let mut b = KgBuilder::new();

@@ -10,6 +10,7 @@ mod checkpoint_atomicity;
 mod lock_order;
 mod nondeterminism;
 mod panic_in_lib;
+mod segment_atomicity;
 mod single_percentile;
 mod unbounded_channel;
 mod unsafe_safety;
@@ -18,6 +19,7 @@ pub use checkpoint_atomicity::CheckpointAtomicity;
 pub use lock_order::LockOrder;
 pub use nondeterminism::Nondeterminism;
 pub use panic_in_lib::PanicInLib;
+pub use segment_atomicity::SegmentAtomicity;
 pub use single_percentile::SinglePercentile;
 pub use unbounded_channel::UnboundedChannel;
 pub use unsafe_safety::UnsafeSafety;
@@ -41,6 +43,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(PanicInLib),
         Box::new(Nondeterminism),
         Box::new(CheckpointAtomicity),
+        Box::new(SegmentAtomicity),
         Box::new(SinglePercentile),
         Box::new(LockOrder::default()),
         Box::new(UnboundedChannel),

@@ -1,0 +1,120 @@
+//! `segment-atomicity`: store segment bytes reach disk only through the
+//! atomic temp→fsync→rename path.
+//!
+//! The disk world's crash-safety argument (DESIGN.md §13) rests on two
+//! facts: every segment file is published by rename, and the manifest is
+//! written last. Both collapse if any writer calls `fs::write` /
+//! `File::create` on a segment directly — a crash mid-write would leave a
+//! torn `entities-*.kges`, `index.kgbm` or `world.kgsm` that the manifest
+//! still vouches for. This is the [`CheckpointAtomicity`] argument lifted
+//! from one file to a directory, with the same enforcement shape: the one
+//! legitimate writer (`kglink_store::atomic`) carries an allow-comment,
+//! and tests that forge corrupt segments on purpose are exempt by scope.
+//!
+//! [`CheckpointAtomicity`]: super::CheckpointAtomicity
+
+use super::{stmt_range, Rule};
+use crate::diag::Finding;
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+
+pub struct SegmentAtomicity;
+
+const SEGMENT_MARKERS: &[&str] = &["kges", "kgbm", "kgsm", "segment"];
+
+fn mentions_segment(text: &str) -> bool {
+    let lower = text.to_ascii_lowercase();
+    SEGMENT_MARKERS.iter().any(|m| lower.contains(m))
+}
+
+impl Rule for SegmentAtomicity {
+    fn id(&self) -> &'static str {
+        "segment-atomicity"
+    }
+
+    fn describe(&self) -> &'static str {
+        "store segments (.kges/.kgbm/.kgsm) are written only via kglink_store::atomic"
+    }
+
+    fn check_file(&mut self, f: &SourceFile, out: &mut Vec<Finding>) {
+        // Product code only: lib and binaries. Tests forge torn segments.
+        if !matches!(
+            f.scope,
+            crate::source::Scope::Lib | crate::source::Scope::Bin
+        ) {
+            return;
+        }
+        for i in 0..f.code.len() {
+            if f.code_kind(i) != Some(TokKind::Ident) || f.code_in_test(i) {
+                continue;
+            }
+            let t = f.code_text(i);
+            let is_write = t == "fs"
+                && f.code_text(i + 1) == ":"
+                && f.code_text(i + 2) == ":"
+                && f.code_text(i + 3) == "write";
+            let is_create = t == "File"
+                && f.code_text(i + 1) == ":"
+                && f.code_text(i + 2) == ":"
+                && matches!(f.code_text(i + 3), "create" | "create_new");
+            if !is_write && !is_create {
+                continue;
+            }
+            let (s, e) = stmt_range(f, i);
+            let segmenty = (s..e).any(|j| {
+                matches!(
+                    f.code_kind(j),
+                    Some(TokKind::Ident | TokKind::Str | TokKind::RawStr)
+                ) && mentions_segment(f.code_text(j))
+            });
+            if segmenty {
+                let call = if is_write { "fs::write" } else { "File::create" };
+                out.push(Finding::new(
+                    self.id(),
+                    &f.path,
+                    f.code_line(i),
+                    format!(
+                        "`{call}` of segment data outside the atomic writer: a crash \
+                         mid-write leaves a torn segment the manifest still vouches \
+                         for; go through kglink_store::atomic"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<u32> {
+        let f = SourceFile::new(path.into(), src.into());
+        let mut out = Vec::new();
+        SegmentAtomicity.check_file(&f, &mut out);
+        out.into_iter().map(|x| x.line).collect()
+    }
+
+    #[test]
+    fn flags_bare_segment_writes_by_ident_or_string() {
+        let src = "\
+fn save(segment_path: &Path, bytes: &[u8]) {
+    fs::write(segment_path, bytes);
+    let f = File::create(\"index.kgbm\");
+    std::fs::write(\"world.kgsm\", data);
+    std::fs::write(other, data);
+}
+";
+        assert_eq!(run("crates/store/src/bad.rs", src), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn unrelated_writes_and_tests_are_exempt() {
+        let src = "fn dump(p: &Path) { fs::write(p, \"results\"); }\n";
+        assert!(run("crates/store/src/world.rs", src).is_empty());
+        let forged = "fn t() { fs::write(\"torn.kges\", b\"junk\"); }\n";
+        assert!(run("crates/store/tests/corruption.rs", forged).is_empty());
+        let inline = "#[cfg(test)]\nmod t { fn f() { fs::write(\"x.kgsm\", b\"j\"); } }\n";
+        assert!(run("crates/store/src/manifest.rs", inline).is_empty());
+    }
+}

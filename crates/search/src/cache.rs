@@ -148,6 +148,24 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
         (self.tail != NIL).then(|| &self.node(self.tail).key)
     }
 
+    /// Remove and return the least recently used entry, or `None` when the
+    /// cache is empty. Weight-bounded caches (the store's block cache keeps
+    /// *bytes*, not entries, under a budget) evict through this in a loop
+    /// after each insert.
+    pub fn pop_lru(&mut self) -> Option<(K, V)> {
+        if self.tail == NIL {
+            return None;
+        }
+        let tail = self.tail;
+        self.detach(tail);
+        // kglink-lint: allow(panic-in-lib) — same slab invariant as `node`:
+        // a non-NIL tail always points at an occupied slot.
+        let node = self.slab[tail].take().expect("live tail");
+        self.map.remove(&node.key);
+        self.free.push(tail);
+        Some((node.key, node.value))
+    }
+
     /// Insert or replace `key`, marking it most recently used. Returns the
     /// evicted `(key, value)` when the insert pushed out the LRU entry.
     pub fn put(&mut self, key: K, value: V) -> Option<(K, V)> {
@@ -439,6 +457,23 @@ mod tests {
         // Replacing a key touches it but never evicts.
         assert_eq!(lru.put("a", 9), None);
         assert_eq!(lru.get(&"a"), Some(&9));
+    }
+
+    #[test]
+    fn pop_lru_drains_in_recency_order() {
+        let mut lru = Lru::new(3);
+        lru.put("a", 1);
+        lru.put("b", 2);
+        lru.put("c", 3);
+        lru.get(&"a"); // order (oldest first): b, c, a
+        assert_eq!(lru.pop_lru(), Some(("b", 2)));
+        assert_eq!(lru.pop_lru(), Some(("c", 3)));
+        assert_eq!(lru.pop_lru(), Some(("a", 1)));
+        assert_eq!(lru.pop_lru(), None);
+        assert!(lru.is_empty());
+        // The slab slots are recycled: inserting after a drain works.
+        lru.put("d", 4);
+        assert_eq!(lru.get(&"d"), Some(&4));
     }
 
     #[test]

@@ -31,7 +31,15 @@ struct Posting {
 #[derive(Debug, Default)]
 pub struct InvertedIndex {
     postings: HashMap<String, Vec<Posting>>,
-    doc_lens: HashMap<DocId, u32>,
+    /// Token count per document, indexed directly by [`DocId`]. Zero means
+    /// "no such document" (a document with only empty fields is never
+    /// registered). Dense because callers use dense ids — the
+    /// [`crate::EntitySearcher`] maps entity ids straight to doc ids — so a
+    /// flat `Vec` replaces the former `HashMap` at a quarter of the memory
+    /// and with deterministic iteration for free.
+    doc_lens: Vec<u32>,
+    /// Number of distinct registered documents (`doc_lens` entries > 0).
+    n_docs: usize,
     total_len: u64,
     params: Bm25Params,
     finished: bool,
@@ -58,7 +66,13 @@ impl InvertedIndex {
         if tokens.is_empty() {
             return;
         }
-        *self.doc_lens.entry(doc).or_insert(0) += tokens.len() as u32;
+        if self.doc_lens.len() <= doc as usize {
+            self.doc_lens.resize(doc as usize + 1, 0);
+        }
+        if self.doc_lens[doc as usize] == 0 {
+            self.n_docs += 1;
+        }
+        self.doc_lens[doc as usize] += tokens.len() as u32;
         self.total_len += tokens.len() as u64;
         // BTreeMap so per-document term counts are visited in term order:
         // postings lists grow identically run to run even before finish()
@@ -100,20 +114,31 @@ impl InvertedIndex {
             }
             *list = merged;
         }
+        // Freeze the dense length table at its final extent: queries index
+        // it directly, and nothing grows after this point.
+        self.doc_lens.shrink_to_fit();
         self.finished = true;
     }
 
     /// Number of indexed documents.
     pub fn doc_count(&self) -> usize {
-        self.doc_lens.len()
+        self.n_docs
     }
 
     /// Average document length in tokens (the paper's `avgwl`).
     pub fn avg_doc_len(&self) -> f32 {
-        if self.doc_lens.is_empty() {
+        if self.n_docs == 0 {
             0.0
         } else {
-            self.total_len as f32 / self.doc_lens.len() as f32
+            self.total_len as f32 / self.n_docs as f32
+        }
+    }
+
+    /// Token count of document `doc`, or `None` if it was never added.
+    pub fn doc_len(&self, doc: DocId) -> Option<u32> {
+        match self.doc_lens.get(doc as usize) {
+            Some(&len) if len > 0 => Some(len),
+            _ => None,
         }
     }
 
@@ -128,7 +153,7 @@ impl InvertedIndex {
         let terms = tokenize_unique(query);
         let n = self.doc_count();
         let avg = self.avg_doc_len().max(1e-6);
-        let len = *self.doc_lens.get(&doc)? as f32;
+        let len = self.doc_len(doc)? as f32;
         let mut score = 0.0;
         let mut matched = false;
         for term in &terms {
@@ -161,7 +186,7 @@ impl InvertedIndex {
             };
             let idf = Bm25Params::idf(n, list.len());
             for p in list {
-                let len = self.doc_lens[&p.doc] as f32;
+                let len = self.doc_lens[p.doc as usize] as f32;
                 *acc.entry(p.doc).or_insert(0.0) +=
                     self.params.term_score(idf, p.tf as f32, len, avg);
             }
@@ -298,5 +323,23 @@ mod tests {
         assert!(idx.avg_doc_len() > 1.0);
         assert_eq!(idx.doc_freq("peter"), 3);
         assert_eq!(idx.doc_freq("nonexistent"), 0);
+    }
+
+    #[test]
+    fn doc_len_distinguishes_missing_and_sparse_ids() {
+        let mut idx = InvertedIndex::new(Bm25Params::default());
+        idx.add_document(2, "alpha beta");
+        idx.add_document(2, "gamma");
+        idx.add_document(9, "delta");
+        idx.finish();
+        // Multi-field lengths accumulate; gaps in the id space and ids past
+        // the table's extent are both "no such document".
+        assert_eq!(idx.doc_len(2), Some(3));
+        assert_eq!(idx.doc_len(9), Some(1));
+        assert_eq!(idx.doc_len(0), None);
+        assert_eq!(idx.doc_len(5), None);
+        assert_eq!(idx.doc_len(100), None);
+        assert_eq!(idx.doc_count(), 2);
+        assert!((idx.avg_doc_len() - 2.0).abs() < 1e-6);
     }
 }

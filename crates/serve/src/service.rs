@@ -30,7 +30,7 @@ use crate::metrics::ServiceMetrics;
 use crate::queue::{AdmissionPolicy, BoundedQueue, PushError};
 use crate::worker::{self, WorkerContext, WorkerExit};
 use kglink_core::{DegradationRung, KgLink};
-use kglink_kg::KnowledgeGraph;
+use kglink_kg::GraphAccess;
 use kglink_nn::Tokenizer;
 use kglink_obs::{Histogram, Tracer};
 use kglink_search::{CacheConfig, CachingBackend, Deadline, KgBackend, MetricsSnapshot};
@@ -233,7 +233,7 @@ impl Shared {
 /// indistinguishable from the original (same shared state, same meter).
 struct Pool {
     model: Arc<KgLink>,
-    graph: Arc<KnowledgeGraph>,
+    graph: Arc<dyn GraphAccess>,
     tokenizer: Arc<Tokenizer>,
     queue: Arc<BoundedQueue<Request>>,
     shared: Arc<Shared>,
@@ -365,7 +365,7 @@ impl AnnotationService {
     /// its own traffic through that shared stack.
     pub fn new(
         model: Arc<KgLink>,
-        graph: Arc<KnowledgeGraph>,
+        graph: Arc<dyn GraphAccess>,
         backend: SharedBackend,
         tokenizer: Arc<Tokenizer>,
         config: ServiceConfig,

@@ -46,7 +46,7 @@ use crate::queue::BoundedQueue;
 use crate::service::{Annotation, Request, Shared, SharedBackend};
 use kglink_core::pipeline::{req, Resources};
 use kglink_core::{DegradationRung, KgLink};
-use kglink_kg::KnowledgeGraph;
+use kglink_kg::GraphAccess;
 use kglink_nn::Tokenizer;
 use kglink_obs::Tracer;
 use kglink_search::{CachingBackend, Deadline};
@@ -59,7 +59,7 @@ use std::sync::{mpsc, Arc, PoisonError};
 pub(crate) struct WorkerContext {
     pub idx: usize,
     pub model: Arc<KgLink>,
-    pub graph: Arc<KnowledgeGraph>,
+    pub graph: Arc<dyn GraphAccess>,
     pub tokenizer: Arc<Tokenizer>,
     pub meter: Arc<MeteredBackend>,
     pub queue: Arc<BoundedQueue<Request>>,

@@ -1,0 +1,212 @@
+//! A byte-budgeted cache of decoded segment blocks.
+//!
+//! Disk reads come in blocks (entity-shard data blocks, BM25 posting
+//! lists); the hot set is far smaller than the segment files, and the whole
+//! point of the store is that the *cold* set never has to be resident. The
+//! cache reuses [`kglink_search::Lru`] for O(1) recency bookkeeping but
+//! bounds **bytes, not entries** — a single giant posting list must not be
+//! able to mean "128 MiB cached" just because the entry count allows it.
+//!
+//! Keys are `(file, block)` ordinal pairs assigned by the owner (shard
+//! index + block index for entity segments; a reserved file id + term
+//! ordinal for posting lists). Values are `Arc<Vec<u8>>` so a hit hands
+//! out a cheap clone and eviction cannot invalidate bytes a reader is
+//! still decoding.
+//!
+//! The lock is never held across a disk read: `get_or_try_load` drops the
+//! shard lock, runs the loader, then re-locks to insert. Two threads may
+//! race to load the same block; both loads are correct (segments are
+//! immutable once published) and the second insert simply replaces the
+//! first, so the race costs one redundant read, never wrong bytes.
+
+use crate::error::StoreError;
+use kglink_search::Lru;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Cache key: `(file ordinal, block ordinal)` as assigned by the owner.
+pub type BlockKey = (u32, u32);
+
+#[derive(Debug)]
+struct Shard {
+    lru: Lru<BlockKey, Arc<Vec<u8>>>,
+    /// Bytes currently held by this shard's values.
+    bytes: usize,
+}
+
+/// Point-in-time counters of a [`BlockCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockCacheStats {
+    /// Lookups answered without touching the loader.
+    pub hits: u64,
+    /// Lookups that ran the loader.
+    pub misses: u64,
+    /// Blocks evicted to stay under the byte budget.
+    pub evictions: u64,
+    /// Bytes resident across all shards right now.
+    pub resident_bytes: usize,
+}
+
+/// A sharded, byte-budgeted LRU over immutable decoded blocks.
+#[derive(Debug)]
+pub struct BlockCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard byte budget (total budget / shard count).
+    shard_budget: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl BlockCache {
+    /// A cache holding at most `budget_bytes` of block payload across
+    /// `shards` independently locked shards. Budgets smaller than one block
+    /// still work: the offending block is cached alone, then evicted by the
+    /// next insert, so the budget is honoured between calls.
+    pub fn new(budget_bytes: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        // Entry capacity is a backstop only; the byte budget is the real
+        // bound. Blocks are ≥ ~1 KiB in practice, so budget/1024 entries
+        // per shard can never be the binding constraint.
+        let per_shard_entries = (budget_bytes / shards / 1024).max(16);
+        BlockCache {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        lru: Lru::new(per_shard_entries),
+                        bytes: 0,
+                    })
+                })
+                .collect(),
+            shard_budget: (budget_bytes / shards).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: BlockKey) -> &Mutex<Shard> {
+        // Cheap deterministic spread; keys are small dense ordinals, so a
+        // multiplicative mix avoids putting all of one file in one shard.
+        let h = (key.0 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (key.1 as u64);
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    /// Fetch the block for `key`, running `load` on a miss. The shard lock
+    /// is not held while `load` runs.
+    pub fn get_or_try_load<F>(&self, key: BlockKey, load: F) -> Result<Arc<Vec<u8>>, StoreError>
+    where
+        F: FnOnce() -> Result<Vec<u8>, StoreError>,
+    {
+        {
+            let mut shard = self.shard(key).lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(block) = shard.lru.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(block));
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let block = Arc::new(load()?);
+        let mut shard = self.shard(key).lock().unwrap_or_else(PoisonError::into_inner);
+        // A racing loader may have inserted while we read; replacing is
+        // harmless (immutable bytes) but the byte accounting must see it.
+        if let Some(old) = shard.lru.peek(&key) {
+            shard.bytes -= old.len();
+        }
+        shard.bytes += block.len();
+        if let Some((_, evicted)) = shard.lru.put(key, Arc::clone(&block)) {
+            shard.bytes -= evicted.len();
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        while shard.bytes > self.shard_budget && shard.lru.len() > 1 {
+            if let Some((_, evicted)) = shard.lru.pop_lru() {
+                shard.bytes -= evicted.len();
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            } else {
+                break;
+            }
+        }
+        Ok(block)
+    }
+
+    /// Current counters across all shards.
+    pub fn stats(&self) -> BlockCacheStats {
+        let resident = self
+            .shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).bytes)
+            .sum();
+        BlockCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            resident_bytes: resident,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_miss_returns_same_bytes() {
+        let cache = BlockCache::new(1 << 20, 4);
+        let a = cache.get_or_try_load((0, 1), || Ok(vec![1, 2, 3])).unwrap();
+        let b = cache
+            .get_or_try_load((0, 1), || panic!("must not reload a cached block"))
+            .unwrap();
+        assert_eq!(a, b);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(s.resident_bytes, 3);
+    }
+
+    #[test]
+    fn loader_errors_pass_through_and_are_not_cached() {
+        let cache = BlockCache::new(1 << 20, 1);
+        let err = cache
+            .get_or_try_load((7, 7), || Err(StoreError::Truncated))
+            .unwrap_err();
+        assert_eq!(err, StoreError::Truncated);
+        // The failed load left nothing behind; a retry runs the loader again.
+        let ok = cache.get_or_try_load((7, 7), || Ok(vec![9])).unwrap();
+        assert_eq!(*ok, vec![9]);
+    }
+
+    #[test]
+    fn byte_budget_evicts_least_recent() {
+        // One shard, 100-byte budget, 40-byte blocks: the third insert must
+        // evict the least recently used first block.
+        let cache = BlockCache::new(100, 1);
+        cache.get_or_try_load((0, 0), || Ok(vec![0u8; 40])).unwrap();
+        cache.get_or_try_load((0, 1), || Ok(vec![1u8; 40])).unwrap();
+        cache.get_or_try_load((0, 2), || Ok(vec![2u8; 40])).unwrap();
+        let s = cache.stats();
+        assert!(s.resident_bytes <= 100, "resident {} over budget", s.resident_bytes);
+        assert!(s.evictions >= 1);
+        // Block 2 (most recent) is still a hit.
+        cache
+            .get_or_try_load((0, 2), || panic!("block 2 should be resident"))
+            .unwrap();
+        // Block 0 was evicted: the loader runs again.
+        let mut reloaded = false;
+        cache
+            .get_or_try_load((0, 0), || {
+                reloaded = true;
+                Ok(vec![0u8; 40])
+            })
+            .unwrap();
+        assert!(reloaded);
+    }
+
+    #[test]
+    fn oversized_block_is_served_then_bounded() {
+        let cache = BlockCache::new(64, 1);
+        let big = cache.get_or_try_load((0, 0), || Ok(vec![7u8; 500])).unwrap();
+        assert_eq!(big.len(), 500);
+        // The next insert pushes the oversized block out.
+        cache.get_or_try_load((0, 1), || Ok(vec![1u8; 32])).unwrap();
+        assert!(cache.stats().resident_bytes <= 64);
+    }
+}

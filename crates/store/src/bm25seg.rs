@@ -1,0 +1,1311 @@
+//! `KGBM` compressed on-disk BM25 index segments.
+//!
+//! The in-memory [`kglink_search::InvertedIndex`] holds every posting as a
+//! struct in a `HashMap` — fine at 100k entities, impossible at 10M. This
+//! module stores the same index as one segment file: delta-varint
+//! compressed postings with per-block *max-score* metadata, a
+//! binary-searchable sorted term dictionary, and a dense document-length
+//! array. Queries over it return **bit-identical** hits to
+//! `InvertedIndex::search` (same f32 summation order, same IDF, same
+//! heap tie-breaks) — the transparency proptests pin this.
+//!
+//! ```text
+//! offset 0, little-endian
+//! ┌───────────────────────────────────────────────────────────────────┐
+//! │ magic "KGBM" │ u32 version │ u32 header_crc (over bytes 12..80)   │
+//! │ u32 n_terms │ u64 postings_off │ u64 postings_len                 │
+//! │ u64 dict_off │ u64 dict_len │ u32 dict_crc                        │
+//! │ u64 doclen_off │ u64 doclen_len │ u32 doclen_crc │ f32 k1 │ f32 b │  80-byte header
+//! ├───────────────────────────────────────────────────────────────────┤
+//! │ postings: per term, blocks of ≤ 128 postings                      │
+//! │   varint count │ varint first_delta │ varint span                 │
+//! │   f32 max_score │ varint payload_len                              │
+//! │   payload: (count−1) varint doc gaps, then count varint tfs       │
+//! ├───────────────────────────────────────────────────────────────────┤
+//! │ dict: [u32 entry_off]*n_terms ++ entries (sorted by term bytes)   │
+//! │   entry: varint term_len + bytes │ varint df                      │
+//! │          u64 post_off (rel) │ u32 post_len │ u32 post_crc         │
+//! │          varint n_blocks                                          │
+//! ├───────────────────────────────────────────────────────────────────┤
+//! │ doclens: dense u32 token count per doc id                         │
+//! └───────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! **Why per-block max scores.** `max_score` is the largest BM25
+//! contribution any posting in the block can make (computable at build
+//! time: df, doc lengths, and corpus stats are all final). At query time
+//! the reader runs document-at-a-time over the term cursors and skips
+//! work the current top-k provably cannot lose to: a candidate whose
+//! summed block maxes fall below the heap threshold is dropped without
+//! scoring, and once a single live cursor remains, whole blocks are
+//! *skipped undecoded* via `payload_len`. Skipping is rank-safe, not
+//! approximate: f32 addition is monotone, and block maxes are computed by
+//! the very expression scoring uses, so `sum(actual) ≤ sum(max)` holds in
+//! f32, summed in the same query-term order. Strict `<` against the
+//! threshold leaves ties (which break by doc id) to the exact path.
+//!
+//! **Why the builder spills.** `Bm25SegBuilder` accumulates postings in a
+//! `BTreeMap` and, past a posting budget, spills term-sorted runs to
+//! scratch files — always at a document boundary, so one document's
+//! postings never straddle runs. `finish` k-way merges the runs (term
+//! order from the BTreeMap, doc order from run order) and streams blocks
+//! through the atomic writer. Peak memory is the budget, not the corpus.
+
+use crate::atomic::AtomicFile;
+use crate::blockcache::BlockCache;
+use crate::error::StoreError;
+use crate::varint::{crc32, get_count, get_uv32, put_uv, Crc32, MAX_VARINT_LEN};
+use kglink_search::tokenize::{tokenize, tokenize_unique};
+use kglink_search::Bm25Params;
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+pub(crate) const MAGIC: &[u8; 4] = b"KGBM";
+pub(crate) const VERSION: u32 = 1;
+pub(crate) const HEADER_LEN: usize = 80;
+
+/// Postings per block. 128 keeps blocks ≲ 1 KiB while making whole-block
+/// skips worth real decode work.
+pub const MAX_BLOCK_POSTINGS: usize = 128;
+
+/// Default spill threshold: postings buffered in memory before a run goes
+/// to disk (~48 MB of `(String, Vec)` overhead at typical term lengths).
+pub const DEFAULT_SPILL_POSTINGS: usize = 4_000_000;
+
+/// File name of the BM25 segment inside a world directory.
+pub const BM25_FILE: &str = "index.kgbm";
+
+/// Corpus statistics produced by [`Bm25SegBuilder::finish`] — what the
+/// manifest records.
+pub use crate::manifest::Bm25Stats;
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+/// Streaming builder for a `KGBM` segment. Documents must arrive in
+/// ascending id order (multiple fields of one document are consecutive
+/// calls with the same id, exactly like `InvertedIndex::add_document`).
+#[derive(Debug)]
+pub struct Bm25SegBuilder {
+    path: PathBuf,
+    run_dir: PathBuf,
+    params: Bm25Params,
+    spill_budget: usize,
+    cur: BTreeMap<String, Vec<(u32, u32)>>,
+    cur_postings: usize,
+    runs: Vec<PathBuf>,
+    doc_lens: Vec<u32>,
+    last_doc: Option<u32>,
+    n_docs: usize,
+    total_len: u64,
+}
+
+impl Bm25SegBuilder {
+    /// Start building the segment that will be committed at `path`.
+    pub fn create(path: &Path, params: Bm25Params, spill_budget: usize) -> Self {
+        Bm25SegBuilder {
+            path: path.to_path_buf(),
+            run_dir: path.with_extension("runs"),
+            params,
+            spill_budget: spill_budget.max(1),
+            cur: BTreeMap::new(),
+            cur_postings: 0,
+            runs: Vec::new(),
+            doc_lens: Vec::new(),
+            last_doc: None,
+            n_docs: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Index one field of document `doc`. Ids must be non-decreasing.
+    pub fn add_doc(&mut self, doc: u32, text: &str) -> Result<(), StoreError> {
+        if let Some(last) = self.last_doc {
+            if doc < last {
+                return Err(StoreError::Corrupt(format!(
+                    "documents must arrive in ascending id order (got {doc} after {last})"
+                )));
+            }
+            // Spill only when crossing to a *new* document, so one
+            // document's postings never straddle two runs.
+            if doc > last && self.cur_postings >= self.spill_budget {
+                self.spill()?;
+            }
+        }
+        self.last_doc = Some(doc);
+        let tokens = tokenize(text);
+        if tokens.is_empty() {
+            return Ok(());
+        }
+        if self.doc_lens.len() <= doc as usize {
+            self.doc_lens.resize(doc as usize + 1, 0);
+        }
+        if self.doc_lens[doc as usize] == 0 {
+            self.n_docs += 1;
+        }
+        self.doc_lens[doc as usize] += tokens.len() as u32;
+        self.total_len += tokens.len() as u64;
+        let mut tf: BTreeMap<&str, u32> = BTreeMap::new();
+        for t in &tokens {
+            *tf.entry(t.as_str()).or_insert(0) += 1;
+        }
+        for (term, count) in tf {
+            let list = self.cur.entry(term.to_string()).or_default();
+            if let Some(last) = list.last_mut() {
+                if last.0 == doc {
+                    last.1 += count;
+                    continue;
+                }
+            }
+            list.push((doc, count));
+            self.cur_postings += 1;
+        }
+        Ok(())
+    }
+
+    fn spill(&mut self) -> Result<(), StoreError> {
+        if self.cur.is_empty() {
+            return Ok(());
+        }
+        std::fs::create_dir_all(&self.run_dir)?;
+        let run_path = self.run_dir.join(format!("run-{:04}.bin", self.runs.len()));
+        // Runs are transient scratch (deleted in finish/Drop), not store
+        // files: plain sequential writes, no framing, no fsync.
+        let file = File::create(&run_path)?;
+        let mut w = BufWriter::new(file);
+        let mut buf = Vec::new();
+        for (term, list) in &self.cur {
+            buf.clear();
+            put_uv(&mut buf, term.len() as u64);
+            buf.extend_from_slice(term.as_bytes());
+            put_uv(&mut buf, list.len() as u64);
+            for &(doc, tf) in list {
+                put_uv(&mut buf, u64::from(doc));
+                put_uv(&mut buf, u64::from(tf));
+            }
+            w.write_all(&buf)?;
+        }
+        w.flush()?;
+        self.runs.push(run_path);
+        self.cur.clear();
+        self.cur_postings = 0;
+        Ok(())
+    }
+
+    /// Merge, compress, and atomically commit the segment. Returns the
+    /// corpus statistics for the manifest.
+    pub fn finish(mut self) -> Result<Bm25Stats, StoreError> {
+        let stats = Bm25Stats {
+            n_docs: self.n_docs as u64,
+            total_len: self.total_len,
+            k1: self.params.k1,
+            b: self.params.b,
+        };
+        if !self.runs.is_empty() {
+            // Earlier spills mean the in-memory tail must join the merge.
+            self.spill()?;
+        }
+        let mut file = AtomicFile::create(&self.path)?;
+        file.write_all(&[0u8; HEADER_LEN])?;
+        let mut sink = TermSink {
+            file: &mut file,
+            params: self.params,
+            n_docs: self.n_docs,
+            avg: avg_len(self.n_docs, self.total_len),
+            doc_lens: &self.doc_lens,
+            entries: Vec::new(),
+            offsets: Vec::new(),
+            prev_term: String::new(),
+            block_buf: Vec::new(),
+        };
+        if self.runs.is_empty() {
+            for (term, list) in &self.cur {
+                sink.emit(term, list)?;
+            }
+        } else {
+            merge_runs(&self.runs, &mut sink)?;
+        }
+        let n_terms = sink.offsets.len() as u32;
+        let postings_len = sink.file.position() - HEADER_LEN as u64;
+        // Dictionary: offset table then entries, CRC'd as one blob.
+        let mut dict = Vec::with_capacity(sink.offsets.len() * 4 + sink.entries.len());
+        for off in &sink.offsets {
+            dict.extend_from_slice(&off.to_le_bytes());
+        }
+        dict.extend_from_slice(&sink.entries);
+        drop(sink);
+        let dict_off = file.position();
+        file.write_all(&dict)?;
+        let doclen_off = file.position();
+        let mut doclens = Vec::with_capacity(self.doc_lens.len() * 4);
+        for &len in &self.doc_lens {
+            doclens.extend_from_slice(&len.to_le_bytes());
+        }
+        file.write_all(&doclens)?;
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        header.extend_from_slice(&[0u8; 4]); // header_crc, patched below
+        header.extend_from_slice(&n_terms.to_le_bytes());
+        header.extend_from_slice(&(HEADER_LEN as u64).to_le_bytes());
+        header.extend_from_slice(&postings_len.to_le_bytes());
+        header.extend_from_slice(&dict_off.to_le_bytes());
+        header.extend_from_slice(&(dict.len() as u64).to_le_bytes());
+        header.extend_from_slice(&crc32(&dict).to_le_bytes());
+        header.extend_from_slice(&doclen_off.to_le_bytes());
+        header.extend_from_slice(&(doclens.len() as u64).to_le_bytes());
+        header.extend_from_slice(&crc32(&doclens).to_le_bytes());
+        header.extend_from_slice(&self.params.k1.to_le_bytes());
+        header.extend_from_slice(&self.params.b.to_le_bytes());
+        debug_assert_eq!(header.len(), HEADER_LEN);
+        let hcrc = crc32(&header[12..HEADER_LEN]);
+        header[8..12].copy_from_slice(&hcrc.to_le_bytes());
+        file.patch(0, &header)?;
+        file.commit()?;
+        self.cleanup_runs();
+        Ok(stats)
+    }
+
+    fn cleanup_runs(&mut self) {
+        if self.run_dir.exists() {
+            let _ = std::fs::remove_dir_all(&self.run_dir);
+        }
+        self.runs.clear();
+    }
+}
+
+impl Drop for Bm25SegBuilder {
+    fn drop(&mut self) {
+        self.cleanup_runs();
+    }
+}
+
+fn avg_len(n_docs: usize, total_len: u64) -> f32 {
+    // Exactly InvertedIndex::avg_doc_len() followed by the .max(1e-6) its
+    // query paths apply — same f32 expression, same types.
+    let avg = if n_docs == 0 {
+        0.0
+    } else {
+        total_len as f32 / n_docs as f32
+    };
+    avg.max(1e-6)
+}
+
+/// Streams per-term posting blocks to the segment file and accumulates
+/// dictionary entries.
+struct TermSink<'a> {
+    file: &'a mut AtomicFile,
+    params: Bm25Params,
+    n_docs: usize,
+    avg: f32,
+    doc_lens: &'a [u32],
+    entries: Vec<u8>,
+    offsets: Vec<u32>,
+    prev_term: String,
+    block_buf: Vec<u8>,
+}
+
+impl TermSink<'_> {
+    fn emit(&mut self, term: &str, postings: &[(u32, u32)]) -> Result<(), StoreError> {
+        if postings.is_empty() {
+            return Ok(());
+        }
+        if !self.offsets.is_empty() && term.as_bytes() <= self.prev_term.as_bytes() {
+            return Err(StoreError::Corrupt(format!(
+                "terms must be emitted in ascending order ('{term}' after '{}')",
+                self.prev_term
+            )));
+        }
+        let df = postings.len();
+        let idf = Bm25Params::idf(self.n_docs, df);
+        let post_off = self.file.position() - HEADER_LEN as u64;
+        let mut crc = Crc32::new();
+        let mut post_len = 0u64;
+        let mut n_blocks = 0u64;
+        let mut prev_last = 0u32;
+        for chunk in postings.chunks(MAX_BLOCK_POSTINGS) {
+            let first = chunk[0].0;
+            let last = chunk[chunk.len() - 1].0;
+            // The block max is computed by the *same* f32 expression the
+            // reader scores with — that equality is what makes skipping
+            // against it rank-safe rather than heuristic.
+            let mut max_score = f32::NEG_INFINITY;
+            for &(doc, tf) in chunk {
+                let dl = *self.doc_lens.get(doc as usize).ok_or_else(|| {
+                    StoreError::Corrupt(format!("posting names doc {doc} outside the corpus"))
+                })?;
+                max_score =
+                    max_score.max(self.params.term_score(idf, tf as f32, dl as f32, self.avg));
+            }
+            self.block_buf.clear();
+            put_uv(&mut self.block_buf, chunk.len() as u64);
+            put_uv(&mut self.block_buf, u64::from(first - prev_last));
+            put_uv(&mut self.block_buf, u64::from(last - first));
+            self.block_buf.extend_from_slice(&max_score.to_le_bytes());
+            let mut payload = Vec::with_capacity(chunk.len() * 2);
+            let mut prev = first;
+            for &(doc, _) in &chunk[1..] {
+                put_uv(&mut payload, u64::from(doc - prev));
+                prev = doc;
+            }
+            for &(_, tf) in chunk {
+                put_uv(&mut payload, u64::from(tf));
+            }
+            put_uv(&mut self.block_buf, payload.len() as u64);
+            self.block_buf.extend_from_slice(&payload);
+            crc.update(&self.block_buf);
+            post_len += self.block_buf.len() as u64;
+            let block = std::mem::take(&mut self.block_buf);
+            self.file.write_all(&block)?;
+            self.block_buf = block;
+            n_blocks += 1;
+            prev_last = last;
+        }
+        self.offsets.push(u32::try_from(self.entries.len()).map_err(|_| {
+            StoreError::Corrupt("dictionary entries exceed u32::MAX bytes".into())
+        })?);
+        put_uv(&mut self.entries, term.len() as u64);
+        self.entries.extend_from_slice(term.as_bytes());
+        put_uv(&mut self.entries, df as u64);
+        self.entries.extend_from_slice(&post_off.to_le_bytes());
+        self.entries.extend_from_slice(
+            &u32::try_from(post_len)
+                .map_err(|_| {
+                    StoreError::Corrupt(format!("postings for '{term}' exceed u32::MAX bytes"))
+                })?
+                .to_le_bytes(),
+        );
+        self.entries.extend_from_slice(&crc.finish().to_le_bytes());
+        put_uv(&mut self.entries, n_blocks);
+        self.prev_term.clear();
+        self.prev_term.push_str(term);
+        Ok(())
+    }
+}
+
+/// K-way merge of term-sorted runs into the sink. Runs are indexed in
+/// creation order; because spills happen at document boundaries and
+/// documents arrive ascending, concatenating one term's lists in run order
+/// preserves ascending doc order with no duplicates.
+fn merge_runs(runs: &[PathBuf], sink: &mut TermSink<'_>) -> Result<(), StoreError> {
+    struct RunHead {
+        term: String,
+        run: usize,
+    }
+    impl PartialEq for RunHead {
+        fn eq(&self, other: &Self) -> bool {
+            self.term == other.term && self.run == other.run
+        }
+    }
+    impl Eq for RunHead {}
+    impl PartialOrd for RunHead {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for RunHead {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // Reversed: BinaryHeap is a max-heap, we pop the smallest term,
+            // earliest run first.
+            other
+                .term
+                .cmp(&self.term)
+                .then_with(|| other.run.cmp(&self.run))
+        }
+    }
+
+    let mut readers: Vec<BufReader<File>> = Vec::with_capacity(runs.len());
+    for p in runs {
+        readers.push(BufReader::new(File::open(p)?));
+    }
+    let mut heap: BinaryHeap<RunHead> = BinaryHeap::new();
+    let mut pending: Vec<Option<Vec<(u32, u32)>>> = Vec::new();
+    pending.resize_with(runs.len(), || None);
+    for run in 0..readers.len() {
+        if let Some((term, list)) = read_run_record(&mut readers[run])? {
+            pending[run] = Some(list);
+            heap.push(RunHead { term, run });
+        }
+    }
+    /// Append run `run`'s pending list, then refill it from its reader.
+    fn take(
+        run: usize,
+        readers: &mut [BufReader<File>],
+        heap: &mut BinaryHeap<RunHead>,
+        pending: &mut [Option<Vec<(u32, u32)>>],
+        merged: &mut Vec<(u32, u32)>,
+    ) -> Result<(), StoreError> {
+        let list = pending[run]
+            .take()
+            .ok_or_else(|| StoreError::Corrupt("run record lost".into()))?;
+        merged.extend_from_slice(&list);
+        if let Some((t, l)) = read_run_record(&mut readers[run])? {
+            pending[run] = Some(l);
+            heap.push(RunHead { term: t, run });
+        }
+        Ok(())
+    }
+
+    let mut merged: Vec<(u32, u32)> = Vec::new();
+    while let Some(head) = heap.pop() {
+        merged.clear();
+        let term = head.term;
+        take(head.run, &mut readers, &mut heap, &mut pending, &mut merged)?;
+        while heap.peek().is_some_and(|h| h.term == term) {
+            // kglink-lint: allow(panic-in-lib) — peek just proved non-empty.
+            let next = heap.pop().expect("peeked entry");
+            take(next.run, &mut readers, &mut heap, &mut pending, &mut merged)?;
+        }
+        sink.emit(&term, &merged)?;
+    }
+    Ok(())
+}
+
+/// A spilled run record: the term and its `(doc, tf)` postings.
+type RunRecord = (String, Vec<(u32, u32)>);
+
+/// Read one run record, or `None` at clean end-of-run.
+fn read_run_record(r: &mut BufReader<File>) -> Result<Option<RunRecord>, StoreError> {
+    let Some(term_len) = read_uv_opt(r)? else {
+        return Ok(None);
+    };
+    if term_len > 1 << 20 {
+        return Err(StoreError::Corrupt(format!("run term length {term_len}")));
+    }
+    let mut term = vec![0u8; term_len as usize];
+    r.read_exact(&mut term)?;
+    let term = String::from_utf8(term)
+        .map_err(|_| StoreError::Corrupt("run term is not UTF-8".into()))?;
+    let count = read_uv(r)?;
+    if count > u64::from(u32::MAX) {
+        return Err(StoreError::Corrupt(format!("run posting count {count}")));
+    }
+    let mut list = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let doc = read_uv(r)?;
+        let tf = read_uv(r)?;
+        list.push((
+            u32::try_from(doc).map_err(|_| StoreError::Corrupt("run doc id".into()))?,
+            u32::try_from(tf).map_err(|_| StoreError::Corrupt("run tf".into()))?,
+        ));
+    }
+    Ok(Some((term, list)))
+}
+
+fn read_uv(r: &mut BufReader<File>) -> Result<u64, StoreError> {
+    read_uv_opt(r)?.ok_or(StoreError::Truncated)
+}
+
+/// Varint from a reader; `None` only on EOF *before the first byte*.
+fn read_uv_opt(r: &mut BufReader<File>) -> Result<Option<u64>, StoreError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    let mut first = true;
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte)? {
+            0 if first => return Ok(None),
+            0 => return Err(StoreError::Truncated),
+            _ => {}
+        }
+        first = false;
+        let b = byte[0];
+        if shift == 63 && b > 1 {
+            return Err(StoreError::Corrupt("varint overflows u64".into()));
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(Some(v));
+        }
+        shift += 7;
+        if shift as usize > (MAX_VARINT_LEN - 1) * 7 {
+            return Err(StoreError::Corrupt("varint longer than 10 bytes".into()));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// Work counters for one query — proof that block-max skipping engages.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Candidates fully scored and offered to the heap.
+    pub scored_docs: u64,
+    /// Candidates dropped by an upper-bound check without scoring.
+    pub skipped_docs: u64,
+    /// Whole posting blocks skipped without decoding.
+    pub skipped_blocks: u64,
+}
+
+#[derive(Debug, Clone)]
+struct DictEntry {
+    df: usize,
+    post_off: u64,
+    post_len: u32,
+    post_crc: u32,
+}
+
+/// Read access to a sealed `KGBM` segment. The dictionary and document
+/// lengths are resident (a few MB per 10M docs); posting bytes are read on
+/// demand through a [`BlockCache`] keyed by `(0, term ordinal)`.
+#[derive(Debug)]
+pub struct Bm25Segment {
+    file: File,
+    params: Bm25Params,
+    postings_off: u64,
+    n_terms: u32,
+    /// `[u32 entry_off]*n_terms` portion of the dict blob.
+    dict_offsets: Vec<u32>,
+    /// Entries portion of the dict blob.
+    dict_entries: Vec<u8>,
+    doc_lens: Vec<u32>,
+    n_docs: usize,
+    avg: f32,
+}
+
+fn le_u32(bytes: &[u8], at: usize) -> Result<u32, StoreError> {
+    bytes
+        .get(at..at + 4)
+        .ok_or(StoreError::Truncated)
+        .map(|s| u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+}
+
+fn le_u64(bytes: &[u8], at: usize) -> Result<u64, StoreError> {
+    bytes
+        .get(at..at + 8)
+        .ok_or(StoreError::Truncated)
+        .map(|s| u64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]]))
+}
+
+impl Bm25Segment {
+    /// Open and validate a segment: magic, version, header CRC, dictionary
+    /// CRC, doc-length CRC. Posting bytes verify lazily per term.
+    pub fn open(path: &Path) -> Result<Self, StoreError> {
+        let file = File::open(path)?;
+        let mut header = [0u8; HEADER_LEN];
+        file.read_exact_at(&mut header, 0)?;
+        if &header[0..4] != MAGIC {
+            return Err(StoreError::BadMagic { expected: "KGBM" });
+        }
+        let version = le_u32(&header, 4)?;
+        if version != VERSION {
+            return Err(StoreError::WrongVersion {
+                found: version,
+                expected: VERSION,
+            });
+        }
+        let header_crc = le_u32(&header, 8)?;
+        let found = crc32(&header[12..HEADER_LEN]);
+        if found != header_crc {
+            return Err(StoreError::CrcMismatch {
+                expected: header_crc,
+                found,
+            });
+        }
+        let n_terms = le_u32(&header, 12)?;
+        let postings_off = le_u64(&header, 16)?;
+        let postings_len = le_u64(&header, 24)?;
+        let dict_off = le_u64(&header, 32)?;
+        let dict_len = le_u64(&header, 40)?;
+        let dict_crc = le_u32(&header, 48)?;
+        let doclen_off = le_u64(&header, 52)?;
+        let doclen_len = le_u64(&header, 60)?;
+        let doclen_crc = le_u32(&header, 68)?;
+        let k1 = f32::from_bits(le_u32(&header, 72)?);
+        let b = f32::from_bits(le_u32(&header, 76)?);
+        if !(k1.is_finite() && b.is_finite()) {
+            return Err(StoreError::Corrupt("BM25 parameters must be finite".into()));
+        }
+        if postings_off != HEADER_LEN as u64 {
+            return Err(StoreError::Corrupt(format!(
+                "postings section at {postings_off}, expected {HEADER_LEN}"
+            )));
+        }
+        let file_len = file.metadata()?.len();
+        for (off, len) in [
+            (postings_off, postings_len),
+            (dict_off, dict_len),
+            (doclen_off, doclen_len),
+        ] {
+            if off.checked_add(len).map(|e| e > file_len).unwrap_or(true) {
+                return Err(StoreError::Truncated);
+            }
+        }
+        if doclen_len % 4 != 0 {
+            return Err(StoreError::Corrupt(format!(
+                "doc-length section of {doclen_len} bytes is not u32-aligned"
+            )));
+        }
+        let mut dict = vec![0u8; dict_len as usize];
+        file.read_exact_at(&mut dict, dict_off)?;
+        let found = crc32(&dict);
+        if found != dict_crc {
+            return Err(StoreError::CrcMismatch {
+                expected: dict_crc,
+                found,
+            });
+        }
+        let offsets_len = n_terms as usize * 4;
+        if dict.len() < offsets_len {
+            return Err(StoreError::Corrupt(format!(
+                "dict blob of {} bytes cannot hold {n_terms} offsets",
+                dict.len()
+            )));
+        }
+        let dict_entries = dict.split_off(offsets_len);
+        let dict_offsets: Vec<u32> = dict
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        let mut doclen_bytes = vec![0u8; doclen_len as usize];
+        file.read_exact_at(&mut doclen_bytes, doclen_off)?;
+        let found = crc32(&doclen_bytes);
+        if found != doclen_crc {
+            return Err(StoreError::CrcMismatch {
+                expected: doclen_crc,
+                found,
+            });
+        }
+        let doc_lens: Vec<u32> = doclen_bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        let n_docs = doc_lens.iter().filter(|&&l| l > 0).count();
+        let total_len: u64 = doc_lens.iter().map(|&l| u64::from(l)).sum();
+        Ok(Bm25Segment {
+            file,
+            params: Bm25Params { k1, b },
+            postings_off,
+            n_terms,
+            dict_offsets,
+            dict_entries,
+            doc_lens,
+            n_docs,
+            avg: avg_len(n_docs, total_len),
+        })
+    }
+
+    /// Number of indexed documents.
+    pub fn doc_count(&self) -> usize {
+        self.n_docs
+    }
+
+    /// Number of distinct terms.
+    pub fn term_count(&self) -> usize {
+        self.n_terms as usize
+    }
+
+    /// Token count of `doc`, or `None` if it was never indexed.
+    pub fn doc_len(&self, doc: u32) -> Option<u32> {
+        match self.doc_lens.get(doc as usize) {
+            Some(&l) if l > 0 => Some(l),
+            _ => None,
+        }
+    }
+
+    /// The BM25 parameters the segment was built with.
+    pub fn params(&self) -> Bm25Params {
+        self.params
+    }
+
+    /// Decode the dictionary entry at ordinal `i`, returning the term bytes
+    /// and metadata.
+    fn entry(&self, i: usize) -> Result<(&[u8], DictEntry), StoreError> {
+        let start = *self
+            .dict_offsets
+            .get(i)
+            .ok_or_else(|| StoreError::Corrupt(format!("term ordinal {i} out of range")))? as usize;
+        let bytes = &self.dict_entries;
+        let mut pos = start;
+        let term_len = get_count(bytes, &mut pos, bytes.len())?;
+        let end = pos
+            .checked_add(term_len)
+            .filter(|&e| e <= bytes.len())
+            .ok_or(StoreError::Truncated)?;
+        let term = &bytes[pos..end];
+        pos = end;
+        let df = get_count(bytes, &mut pos, u32::MAX as usize)?;
+        let post_off = le_u64(bytes, pos)?;
+        pos += 8;
+        let post_len = le_u32(bytes, pos)?;
+        pos += 4;
+        let post_crc = le_u32(bytes, pos)?;
+        if df == 0 {
+            return Err(StoreError::Corrupt("dictionary entry with df = 0".into()));
+        }
+        Ok((
+            term,
+            DictEntry {
+                df,
+                post_off,
+                post_len,
+                post_crc,
+            },
+        ))
+    }
+
+    /// Binary-search the sorted dictionary for `term`.
+    fn lookup(&self, term: &str) -> Result<Option<(usize, DictEntry)>, StoreError> {
+        let needle = term.as_bytes();
+        let (mut lo, mut hi) = (0usize, self.n_terms as usize);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let (probe, entry) = self.entry(mid)?;
+            match probe.cmp(needle) {
+                Ordering::Less => lo = mid + 1,
+                Ordering::Greater => hi = mid,
+                Ordering::Equal => return Ok(Some((mid, entry))),
+            }
+        }
+        Ok(None)
+    }
+
+    /// Fetch (and CRC-verify, once) the full posting bytes of a term.
+    fn postings(
+        &self,
+        ordinal: usize,
+        entry: &DictEntry,
+        cache: &BlockCache,
+    ) -> Result<Arc<Vec<u8>>, StoreError> {
+        cache.get_or_try_load((0, ordinal as u32), || {
+            let mut buf = vec![0u8; entry.post_len as usize];
+            self.file
+                .read_exact_at(&mut buf, self.postings_off + entry.post_off)?;
+            let found = crc32(&buf);
+            if found != entry.post_crc {
+                return Err(StoreError::CrcMismatch {
+                    expected: entry.post_crc,
+                    found,
+                });
+            }
+            Ok(buf)
+        })
+    }
+
+    /// Top-`k` documents for `query`, bit-identical to
+    /// `InvertedIndex::search` on the same corpus.
+    pub fn search(
+        &self,
+        query: &str,
+        k: usize,
+        cache: &BlockCache,
+    ) -> Result<Vec<(u32, f32)>, StoreError> {
+        self.search_with_stats(query, k, cache).map(|(hits, _)| hits)
+    }
+
+    /// [`Bm25Segment::search`] plus the work counters.
+    pub fn search_with_stats(
+        &self,
+        query: &str,
+        k: usize,
+        cache: &BlockCache,
+    ) -> Result<(Vec<(u32, f32)>, QueryStats), StoreError> {
+        let mut stats = QueryStats::default();
+        let terms = tokenize_unique(query);
+        if terms.is_empty() || k == 0 {
+            return Ok((Vec::new(), stats));
+        }
+        // Cursors in query-term order: scoring sums per-candidate
+        // contributions in this order, matching the in-memory term loop.
+        let mut cursors: Vec<Cursor> = Vec::with_capacity(terms.len());
+        for term in &terms {
+            if let Some((ordinal, entry)) = self.lookup(term)? {
+                let bytes = self.postings(ordinal, &entry, cache)?;
+                let idf = Bm25Params::idf(self.n_docs, entry.df);
+                let mut c = Cursor::new(bytes, idf);
+                c.enter_next_block()?;
+                if !c.exhausted {
+                    cursors.push(c);
+                }
+            }
+        }
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+        loop {
+            let live = cursors.iter().filter(|c| !c.exhausted).count();
+            if live == 0 {
+                break;
+            }
+            if live == 1 {
+                if let Some(c) = cursors.iter_mut().find(|c| !c.exhausted) {
+                    drain_single(c, self, k, &mut heap, &mut stats)?;
+                }
+                break;
+            }
+            // Candidate = smallest current doc across live cursors.
+            let d = cursors
+                .iter()
+                .filter(|c| !c.exhausted)
+                .map(|c| c.current_doc())
+                .min()
+                // kglink-lint: allow(panic-in-lib) — live > 0 just checked.
+                .expect("live cursor");
+            let threshold = (heap.len() == k).then(|| heap.peek().map(|e| e.score));
+            if let Some(Some(t)) = threshold {
+                // Upper bound: block maxes of the cursors at d, summed in
+                // the same order scoring would use. f32 addition is
+                // monotone, so sum(actual) ≤ sum(max); strict < means the
+                // candidate cannot enter the top-k (ties break exact).
+                let mut ub = 0.0f32;
+                for c in cursors.iter().filter(|c| !c.exhausted) {
+                    if c.current_doc() == d {
+                        ub += c.block_max;
+                    }
+                }
+                if ub < t {
+                    stats.skipped_docs += 1;
+                    for c in cursors.iter_mut().filter(|c| !c.exhausted) {
+                        if c.current_doc() == d {
+                            c.step()?;
+                        }
+                    }
+                    continue;
+                }
+            }
+            let len = *self
+                .doc_lens
+                .get(d as usize)
+                .ok_or_else(|| StoreError::Corrupt(format!("posting names doc {d} outside the corpus")))?
+                as f32;
+            let mut score = 0.0f32;
+            for c in cursors.iter_mut().filter(|c| !c.exhausted) {
+                if c.current_doc() == d {
+                    score += self.params.term_score(c.idf, c.current_tf() as f32, len, self.avg);
+                }
+            }
+            stats.scored_docs += 1;
+            offer(&mut heap, k, d, score);
+            for c in cursors.iter_mut().filter(|c| !c.exhausted) {
+                if c.current_doc() == d {
+                    c.step()?;
+                }
+            }
+        }
+        let mut hits: Vec<(u32, f32)> = heap.into_iter().map(|e| (e.doc, e.score)).collect();
+        hits.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        Ok((hits, stats))
+    }
+}
+
+/// Score the lone remaining cursor's postings, skipping whole blocks whose
+/// max score cannot beat the current threshold.
+fn drain_single(
+    c: &mut Cursor,
+    seg: &Bm25Segment,
+    k: usize,
+    heap: &mut BinaryHeap<HeapEntry>,
+    stats: &mut QueryStats,
+) -> Result<(), StoreError> {
+    loop {
+        // Score out the currently decoded block.
+        while c.i < c.docs.len() {
+            if heap.len() == k {
+                // The threshold may have risen past this block's max since
+                // it was decoded; everything left in it is then unreachable.
+                let t = heap.peek().map(|e| e.score).unwrap_or(f32::NEG_INFINITY);
+                if c.block_max < t {
+                    stats.skipped_docs += (c.docs.len() - c.i) as u64;
+                    c.i = c.docs.len();
+                    break;
+                }
+            }
+            let d = c.docs[c.i];
+            let len = *seg
+                .doc_lens
+                .get(d as usize)
+                .ok_or_else(|| StoreError::Corrupt(format!("posting names doc {d} outside the corpus")))?
+                as f32;
+            let score = 0.0f32 + seg.params.term_score(c.idf, c.tfs[c.i] as f32, len, seg.avg);
+            stats.scored_docs += 1;
+            offer(heap, k, d, score);
+            c.i += 1;
+        }
+        // Pick the next block, skipping undecoded ones that cannot compete.
+        loop {
+            let Some(head) = c.peek_head()? else {
+                c.exhausted = true;
+                return Ok(());
+            };
+            if heap.len() == k {
+                let t = heap.peek().map(|e| e.score).unwrap_or(f32::NEG_INFINITY);
+                if head.max < t {
+                    stats.skipped_blocks += 1;
+                    stats.skipped_docs += head.count as u64;
+                    c.skip_block(&head);
+                    continue;
+                }
+            }
+            c.load_block(&head)?;
+            break;
+        }
+    }
+}
+
+fn offer(heap: &mut BinaryHeap<HeapEntry>, k: usize, doc: u32, score: f32) {
+    heap.push(HeapEntry { doc, score });
+    if heap.len() > k {
+        heap.pop();
+    }
+}
+
+/// Min-heap entry replicating `kglink_search::index`'s top-k semantics:
+/// pop the smallest score first, and among equal scores the *larger* doc
+/// id, so the k survivors are exactly the in-memory ones.
+struct HeapEntry {
+    doc: u32,
+    score: f32,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .score
+            .total_cmp(&self.score)
+            .then_with(|| self.doc.cmp(&other.doc))
+    }
+}
+
+#[derive(Debug)]
+struct BlockHead {
+    count: usize,
+    first: u32,
+    last: u32,
+    max: f32,
+    payload_start: usize,
+    payload_len: usize,
+}
+
+/// A decode cursor over one term's posting bytes.
+struct Cursor {
+    bytes: Arc<Vec<u8>>,
+    /// Byte position of the next unread block header.
+    pos: usize,
+    idf: f32,
+    /// Last doc id of the last consumed or skipped block.
+    prev_last: u32,
+    /// Decoded current block.
+    docs: Vec<u32>,
+    tfs: Vec<u32>,
+    i: usize,
+    block_max: f32,
+    exhausted: bool,
+}
+
+impl Cursor {
+    fn new(bytes: Arc<Vec<u8>>, idf: f32) -> Self {
+        Cursor {
+            bytes,
+            pos: 0,
+            idf,
+            prev_last: 0,
+            docs: Vec::new(),
+            tfs: Vec::new(),
+            i: 0,
+            block_max: 0.0,
+            exhausted: false,
+        }
+    }
+
+    fn current_doc(&self) -> u32 {
+        self.docs[self.i]
+    }
+
+    fn current_tf(&self) -> u32 {
+        self.tfs[self.i]
+    }
+
+    /// Decode the next block's header without touching its payload.
+    fn peek_head(&self) -> Result<Option<BlockHead>, StoreError> {
+        if self.pos >= self.bytes.len() {
+            return Ok(None);
+        }
+        let bytes = &self.bytes[..];
+        let mut p = self.pos;
+        let count = get_count(bytes, &mut p, MAX_BLOCK_POSTINGS)?;
+        if count == 0 {
+            return Err(StoreError::Corrupt("empty posting block".into()));
+        }
+        let delta = get_uv32(bytes, &mut p)?;
+        let span = get_uv32(bytes, &mut p)?;
+        let max_bytes = bytes.get(p..p + 4).ok_or(StoreError::Truncated)?;
+        let max = f32::from_le_bytes([max_bytes[0], max_bytes[1], max_bytes[2], max_bytes[3]]);
+        p += 4;
+        let remaining = bytes.len().saturating_sub(p);
+        let payload_len = get_count(bytes, &mut p, remaining)?;
+        let first = self
+            .prev_last
+            .checked_add(delta)
+            .ok_or_else(|| StoreError::Corrupt("doc id overflows u32".into()))?;
+        let last = first
+            .checked_add(span)
+            .ok_or_else(|| StoreError::Corrupt("doc id overflows u32".into()))?;
+        Ok(Some(BlockHead {
+            count,
+            first,
+            last,
+            max,
+            payload_start: p,
+            payload_len,
+        }))
+    }
+
+    /// Jump past an undecoded block.
+    fn skip_block(&mut self, head: &BlockHead) {
+        self.pos = head.payload_start + head.payload_len;
+        self.prev_last = head.last;
+    }
+
+    /// Decode a block's payload into the cursor.
+    fn load_block(&mut self, head: &BlockHead) -> Result<(), StoreError> {
+        let end = head.payload_start + head.payload_len;
+        let bytes = &self.bytes[..];
+        let mut p = head.payload_start;
+        self.docs.clear();
+        self.tfs.clear();
+        self.docs.push(head.first);
+        let mut prev = head.first;
+        for _ in 1..head.count {
+            let gap = get_uv32(bytes, &mut p)?;
+            prev = prev
+                .checked_add(gap)
+                .ok_or_else(|| StoreError::Corrupt("doc id overflows u32".into()))?;
+            self.docs.push(prev);
+        }
+        if prev != head.last {
+            return Err(StoreError::Corrupt(format!(
+                "block ends at doc {prev}, header says {}",
+                head.last
+            )));
+        }
+        for _ in 0..head.count {
+            self.tfs.push(get_uv32(bytes, &mut p)?);
+        }
+        if p != end {
+            return Err(StoreError::Corrupt(format!(
+                "block payload has {} undecoded bytes",
+                end as i64 - p as i64
+            )));
+        }
+        self.i = 0;
+        self.block_max = head.max;
+        self.pos = end;
+        self.prev_last = head.last;
+        Ok(())
+    }
+
+    /// Advance one posting, entering the next block as needed.
+    fn step(&mut self) -> Result<(), StoreError> {
+        self.i += 1;
+        if self.i >= self.docs.len() {
+            self.enter_next_block()?;
+        }
+        Ok(())
+    }
+
+    fn enter_next_block(&mut self) -> Result<(), StoreError> {
+        match self.peek_head()? {
+            None => {
+                self.exhausted = true;
+                Ok(())
+            }
+            Some(head) => self.load_block(&head),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kglink_search::InvertedIndex;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "kglink-store-bm25-{tag}-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    /// Corpus of (doc, field text) pairs, doc-ascending.
+    fn corpus() -> Vec<(u32, String)> {
+        let words = ["peter", "steele", "rust", "album", "band", "city"];
+        let mut docs = Vec::new();
+        for i in 0u32..400 {
+            let a = words[(i % 6) as usize];
+            let b = words[((i / 6) % 6) as usize];
+            docs.push((i, format!("{a} {b} item{i}")));
+            if i % 3 == 0 {
+                docs.push((i, format!("alias {a}")));
+            }
+        }
+        docs
+    }
+
+    fn build_both(docs: &[(u32, String)], spill: usize) -> (InvertedIndex, Bm25Segment, PathBuf) {
+        let mut idx = InvertedIndex::new(Bm25Params::default());
+        for (d, t) in docs {
+            idx.add_document(*d, t);
+        }
+        idx.finish();
+        let dir = tmpdir(&format!("build-{spill}"));
+        let path = dir.join(BM25_FILE);
+        let mut b = Bm25SegBuilder::create(&path, Bm25Params::default(), spill);
+        for (d, t) in docs {
+            b.add_doc(*d, t).unwrap();
+        }
+        b.finish().unwrap();
+        (idx, Bm25Segment::open(&path).unwrap(), dir)
+    }
+
+    #[test]
+    fn disk_search_is_bit_identical_to_memory() {
+        let docs = corpus();
+        let (idx, seg, dir) = build_both(&docs, usize::MAX);
+        let cache = BlockCache::new(1 << 20, 2);
+        for query in ["peter steele", "rust", "album band city", "item7", "zzz", ""] {
+            for k in [1, 3, 10, 50] {
+                let mem = idx.search(query, k);
+                let disk = seg.search(query, k, &cache).unwrap();
+                assert_eq!(mem.len(), disk.len(), "{query} k={k}");
+                for (m, d) in mem.iter().zip(&disk) {
+                    assert_eq!(m.doc, d.0, "{query} k={k}");
+                    assert_eq!(m.score.to_bits(), d.1.to_bits(), "{query} k={k}");
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn spilling_builder_produces_the_same_segment_results() {
+        let docs = corpus();
+        let (_, seg_nospill, dir1) = build_both(&docs, usize::MAX);
+        // A 50-posting budget forces many runs through the merge path.
+        let (_, seg_spill, dir2) = build_both(&docs, 50);
+        let cache = BlockCache::new(1 << 20, 2);
+        assert_eq!(seg_nospill.term_count(), seg_spill.term_count());
+        assert_eq!(seg_nospill.doc_count(), seg_spill.doc_count());
+        for query in ["peter steele", "rust album", "item11 city"] {
+            let a = seg_nospill.search(query, 10, &cache).unwrap();
+            let b = seg_spill.search(query, 10, &cache).unwrap();
+            assert_eq!(a, b, "{query}");
+        }
+        // No run scratch left behind.
+        assert!(!dir2.join("index.runs").exists());
+        std::fs::remove_dir_all(&dir1).unwrap();
+        std::fs::remove_dir_all(&dir2).unwrap();
+    }
+
+    #[test]
+    fn block_max_skipping_engages_and_stays_exact() {
+        // One common term over many docs of increasing length: scores fall
+        // with id, so later blocks cannot beat an established top-3.
+        let mut docs = Vec::new();
+        for i in 0u32..800 {
+            let pad: String = (0..(i as usize / 4 + 1)).map(|j| format!(" w{j}")).collect();
+            docs.push((i, format!("common{pad}")));
+        }
+        let (idx, seg, dir) = build_both(&docs, usize::MAX);
+        let cache = BlockCache::new(1 << 20, 2);
+        let (hits, stats) = seg.search_with_stats("common", 3, &cache).unwrap();
+        let mem = idx.search("common", 3);
+        assert_eq!(hits.len(), mem.len());
+        for (m, d) in mem.iter().zip(&hits) {
+            assert_eq!((m.doc, m.score.to_bits()), (d.0, d.1.to_bits()));
+        }
+        assert!(
+            stats.skipped_docs > 0,
+            "skipping never engaged: {stats:?}"
+        );
+        assert!(
+            stats.scored_docs + stats.skipped_docs == 800,
+            "every posting accounted for: {stats:?}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_classes_fail_typed() {
+        let docs = corpus();
+        let (_, _, dir) = build_both(&docs, usize::MAX);
+        let path = dir.join(BM25_FILE);
+        let orig = std::fs::read(&path).unwrap();
+
+        let mut bad = orig.clone();
+        bad[0] = b'x';
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            Bm25Segment::open(&path),
+            Err(StoreError::BadMagic { expected: "KGBM" })
+        ));
+
+        let mut bad = orig.clone();
+        bad[4] = 7;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            Bm25Segment::open(&path),
+            Err(StoreError::WrongVersion { found: 7, expected: VERSION })
+        ));
+
+        let mut bad = orig.clone();
+        bad[20] ^= 1; // inside the CRC'd header region
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            Bm25Segment::open(&path),
+            Err(StoreError::CrcMismatch { .. })
+        ));
+
+        std::fs::write(&path, &orig[..HEADER_LEN + 3]).unwrap();
+        assert!(matches!(
+            Bm25Segment::open(&path),
+            Err(StoreError::Truncated)
+        ));
+
+        // A bit flip in the postings section passes open (lazy) but fails
+        // the term's CRC at query time.
+        let mut bad = orig.clone();
+        bad[HEADER_LEN + 2] ^= 0x10;
+        std::fs::write(&path, &bad).unwrap();
+        let seg = Bm25Segment::open(&path).unwrap();
+        let cache = BlockCache::new(1 << 20, 1);
+        let mut saw_crc_error = false;
+        for q in ["peter", "steele", "rust", "album", "band", "city"] {
+            if matches!(
+                seg.search(q, 5, &cache),
+                Err(StoreError::CrcMismatch { .. })
+            ) {
+                saw_crc_error = true;
+            }
+        }
+        assert!(saw_crc_error, "flipped posting byte never surfaced");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn out_of_order_docs_and_terms_are_rejected() {
+        let dir = tmpdir("order");
+        let mut b = Bm25SegBuilder::create(&dir.join(BM25_FILE), Bm25Params::default(), 10);
+        b.add_doc(5, "alpha").unwrap();
+        assert!(matches!(b.add_doc(4, "beta"), Err(StoreError::Corrupt(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,123 @@
+//! Transparency property: a disk world is observationally identical to the
+//! in-memory structures it was written from.
+//!
+//! For random small graphs, every [`GraphAccess`] method of [`DiskGraph`]
+//! must agree with [`KnowledgeGraph`], and [`DiskBackend`] retrieval must
+//! be **bit-identical** (`f32::to_bits` on every score) to
+//! [`EntitySearcher`] — same hits, same order, same floats. Worlds are
+//! written with tiny shards so the multi-shard paths are always exercised.
+
+use kglink_kg::{Entity, GraphAccess, KgBuilder, NeSchema};
+use kglink_search::EntitySearcher;
+use kglink_store::{write_graph, DiskWorld, WorldWriterConfig};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn casedir() -> PathBuf {
+    let n = CASE.fetch_add(1, Ordering::Relaxed);
+    let d = std::env::temp_dir().join(format!(
+        "kglink-store-transparency-{}-{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+const SCHEMAS: [NeSchema; 4] = [
+    NeSchema::Person,
+    NeSchema::Place,
+    NeSchema::Work,
+    NeSchema::Other,
+];
+const EXTRA_PREDS: [&str; 2] = ["performer", "country"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random graph → disk → every observation matches the source.
+    #[test]
+    fn disk_world_is_bit_identical_to_memory(
+        type_labels in proptest::collection::vec("[a-e]{1,4}", 1..4),
+        instances in proptest::collection::vec(
+            ("[a-e]{1,4}", "[a-e]{0,3}", 0usize..4, 0usize..4),
+            1..20,
+        ),
+        edges in proptest::collection::vec((0usize..20, 0usize..20, 0usize..2), 0..15),
+        queries in proptest::collection::vec("[a-e]{1,4}", 1..6),
+        per_shard in 1u32..7,
+    ) {
+        let mut b = KgBuilder::new();
+        let tys: Vec<_> = type_labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| b.add_type(&format!("{l}{i}"), None))
+            .collect();
+        let mut ids = Vec::new();
+        for (label, alias, ty, schema) in &instances {
+            let mut e = Entity::new(label.clone(), SCHEMAS[*schema % SCHEMAS.len()]);
+            if !alias.is_empty() {
+                e = e.with_alias(alias.clone());
+            }
+            ids.push(b.add_instance(e, tys[*ty % tys.len()]));
+        }
+        let mut g = b.build();
+        for (s, t, p) in &edges {
+            let pred = g.intern_predicate(EXTRA_PREDS[*p % EXTRA_PREDS.len()]);
+            g.add_edge(ids[*s % ids.len()], pred, ids[*t % ids.len()]);
+        }
+
+        let dir = casedir();
+        let cfg = WorldWriterConfig { per_shard, ..WorldWriterConfig::default() };
+        let manifest = write_graph(&dir, &g, cfg).unwrap();
+        prop_assert_eq!(manifest.n_entities, g.len() as u64);
+        let world = DiskWorld::open(&dir).unwrap();
+
+        prop_assert_eq!(world.graph.entity_count(), g.len());
+        for (id, entity) in g.entities() {
+            let got = world.graph.entity(id);
+            prop_assert_eq!(&got.label, &entity.label);
+            prop_assert_eq!(&got.aliases, &entity.aliases);
+            prop_assert_eq!(&got.description, &entity.description);
+            prop_assert_eq!(got.schema, entity.schema);
+            prop_assert_eq!(got.is_type, entity.is_type);
+            prop_assert_eq!(world.graph.label(id), g.label(id));
+            prop_assert_eq!(world.graph.schema_of(id), g.schema_of(id));
+            prop_assert_eq!(world.graph.one_hop(id), g.one_hop(id));
+            prop_assert_eq!(
+                world.graph.one_hop_with_predicates(id),
+                g.one_hop_with_predicates(id)
+            );
+            prop_assert_eq!(world.graph.types_of(id), g.types_of(id));
+            prop_assert_eq!(world.graph.superclasses_of(id), g.superclasses_of(id));
+        }
+        for i in 0..g.predicate_count() {
+            let p = kglink_kg::PredicateId(i as u16);
+            prop_assert_eq!(world.graph.predicate_name(p), g.predicate_name(p));
+        }
+
+        let mem = EntitySearcher::build(&g);
+        for q in queries.iter().map(String::as_str).chain(["zzz", ""]) {
+            for k in [1usize, 3, 10] {
+                let m = mem.link_mention(q, k);
+                let d = world.backend.try_search(q, k).unwrap();
+                prop_assert_eq!(m.len(), d.len(), "query {:?} k {}", q, k);
+                for (a, b) in m.iter().zip(&d) {
+                    prop_assert_eq!(a.0, b.0, "query {:?} k {}", q, k);
+                    prop_assert_eq!(
+                        a.1.to_bits(),
+                        b.1.to_bits(),
+                        "query {:?} k {}",
+                        q,
+                        k
+                    );
+                }
+            }
+        }
+        prop_assert_eq!(world.graph.error_count(), 0);
+        prop_assert_eq!(world.backend.error_count(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -25,6 +25,9 @@ KGLINK_FAST=1 cargo run --release -q -p kglink-bench --bin exp_crash -- --smoke
 echo "== exp_overload smoke (admission control, degradation ladder, retry budgets) =="
 KGLINK_FAST=1 cargo run --release -q -p kglink-bench --bin exp_overload -- --smoke
 
+echo "== exp_scale smoke (disk store: transparency, typed corruption, memory budget) =="
+KGLINK_FAST=1 cargo run --release -q -p kglink-bench --bin exp_scale -- --smoke
+
 echo "== kglink-lint self-test (fixture corpus meta-gate) =="
 # The linter must still *find* things before its clean workspace run means
 # anything: every rule's fixtures must fire exactly as declared. A rule

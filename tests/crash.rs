@@ -279,7 +279,7 @@ fn panicking_service(
     let backend = Arc::new(PanickingBackend::new(Arc::clone(&fx.searcher), every));
     let svc = AnnotationService::new(
         Arc::clone(&fx.model),
-        Arc::clone(&fx.graph),
+        Arc::clone(&fx.graph) as Arc<dyn kglink::kg::GraphAccess>,
         Arc::clone(&backend) as SharedBackend,
         Arc::clone(&fx.tokenizer),
         config,
@@ -436,7 +436,7 @@ fn shutdown_is_idempotent_and_fails_leftovers_typed() {
     let backend: SharedBackend = Arc::clone(&fx.searcher) as SharedBackend;
     let mut svc = AnnotationService::new(
         Arc::clone(&fx.model),
-        Arc::clone(&fx.graph),
+        Arc::clone(&fx.graph) as Arc<dyn kglink::kg::GraphAccess>,
         backend,
         Arc::clone(&fx.tokenizer),
         ServiceConfig {

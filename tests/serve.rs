@@ -10,7 +10,7 @@
 use kglink::core::pipeline::{build_vocab, req, KgLink, Resources};
 use kglink::core::{KgLinkConfig, Preprocessor};
 use kglink::datagen::{pretrain_corpus, semtab_like, SemTabConfig};
-use kglink::kg::{KnowledgeGraph, SyntheticWorld, WorldConfig};
+use kglink::kg::{GraphAccess, KnowledgeGraph, SyntheticWorld, WorldConfig};
 use kglink::nn::Tokenizer;
 use kglink::search::{
     CacheConfig, CachingBackend, Deadline, EntitySearcher, FaultConfig, FaultyBackend,
@@ -84,7 +84,7 @@ fn service(fx: &Fixture, config: ServiceConfig) -> AnnotationService {
     let backend: SharedBackend = Arc::clone(&fx.searcher) as SharedBackend;
     AnnotationService::new(
         Arc::clone(&fx.model),
-        Arc::clone(&fx.graph),
+        Arc::clone(&fx.graph) as Arc<dyn GraphAccess>,
         backend,
         Arc::clone(&fx.tokenizer),
         config,
