@@ -2,7 +2,7 @@
 
 use kglink_nn::layers::linear::Linear;
 use kglink_nn::layers::param::{HasParams, Param};
-use kglink_nn::ops::{gelu, gelu_grad};
+use kglink_nn::kernels::{gelu, gelu_grad};
 use kglink_nn::{cross_entropy, AdamW, AdamWConfig, Tensor};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;

@@ -81,6 +81,28 @@ fn main() {
             h.p99().to_string(),
         ]);
     }
+    // The batched encoder forward inside `classify` is broken out as a
+    // nested `nn.forward` span. It is not part of the tiling sum (its
+    // parent already covers it), but it must exist and cannot exceed the
+    // stage that contains it.
+    let forward = stages
+        .get("nn.forward")
+        .expect("nn.forward span never recorded — predict_table_traced lost its tracer");
+    let classify = stages.get("classify").expect("classify stage recorded");
+    assert!(
+        forward.sum() <= classify.sum(),
+        "nn.forward ({}us) exceeds its enclosing classify stage ({}us)",
+        forward.sum(),
+        classify.sum()
+    );
+    rows.push(vec![
+        "└ nn.forward (in classify)".into(),
+        forward.count().to_string(),
+        format!("{:.2}", forward.sum() as f64 / 1000.0),
+        format!("{:.1}", 100.0 * forward.sum() as f64 / annotate.sum() as f64),
+        forward.p50().to_string(),
+        forward.p99().to_string(),
+    ]);
     rows.push(vec![
         "annotate (root)".into(),
         annotate.count().to_string(),

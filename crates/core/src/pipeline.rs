@@ -420,7 +420,8 @@ impl KgLink {
     /// Stage spans: the whole call runs under an `annotate` span;
     /// preprocessing contributes `retrieval` / `filter` / `feature`, and
     /// Part 2 contributes `encode` (serialization + tokenization) and
-    /// `classify` (the forward pass) per chunk.
+    /// `classify` (the forward pass) per chunk; the batched encoder time
+    /// inside `classify` is broken out as a nested `nn.forward` span.
     pub fn annotate_request(
         &self,
         resources: &Resources<'_>,
@@ -455,7 +456,12 @@ impl KgLink {
                 )
             };
             let _classify = tracer.span("classify");
-            labels.extend(train::predict_table(&self.model, &config, &prep[0]));
+            labels.extend(train::predict_table_traced(
+                &self.model,
+                &config,
+                &prep[0],
+                &tracer,
+            ));
         }
         // Degenerate or skipped chunks must not change the output arity:
         // pad with the first label as a deterministic fallback.

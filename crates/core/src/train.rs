@@ -276,36 +276,86 @@ fn train_table(
 }
 
 /// Predict labels for one prepared table (inference path, no gradients).
+/// Untraced convenience over [`predict_table_traced`].
 pub fn predict_table(
     model: &KgLinkModel,
     config: &KgLinkConfig,
     pt: &PreparedTable,
 ) -> Vec<LabelId> {
-    let hidden = model.encoder.infer(&pt.masked.ids);
-    (0..pt.labels.len())
-        .map(|c| {
-            let cls = pt.masked.cls[c];
-            if cls >= hidden.rows() {
-                return LabelId(0); // truncated column: fall back to class 0
-            }
-            let fv = if config.use_feature_vector {
-                pt.features[c]
-                    .as_ref()
-                    .map(|fids| model.encoder.infer(fids).row(0).to_vec())
-            } else {
-                None
-            };
-            let y_col = model.compose(hidden.row(cls), fv.as_deref());
-            let logits = model.classify(&y_col);
-            let best = logits
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.total_cmp(b.1))
-                .map(|(i, _)| i)
-                .unwrap_or(0);
-            LabelId(best as u32)
-        })
-        .collect()
+    predict_table_traced(model, config, pt, &Tracer::disabled())
+}
+
+/// Batched prediction: the masked table and every eligible column's
+/// feature sequence are encoded in **one** batched forward — one GEMM per
+/// projection per layer across all of them — recorded under an
+/// `nn.forward` tracer span. Classification only reads one CLS row per
+/// column (plus each feature sequence's row 0), so the forward runs
+/// through [`Encoder::infer_batch_rows`], which skips the final block's
+/// row-local work for every other row. Composition and classification
+/// then read rows straight out of the packed batch; every row read is
+/// bit-identical to encoding each sequence separately.
+///
+/// [`Encoder::infer_batch_rows`]: kglink_nn::Encoder::infer_batch_rows
+pub fn predict_table_traced(
+    model: &KgLinkModel,
+    config: &KgLinkConfig,
+    pt: &PreparedTable,
+    tracer: &Tracer,
+) -> Vec<LabelId> {
+    // Segment 0 is the masked table; each eligible feature sequence gets
+    // its own segment after it.
+    let mut seqs: Vec<&[u32]> = Vec::with_capacity(1 + pt.labels.len());
+    seqs.push(&pt.masked.ids);
+    let mut feat_slot: Vec<Option<usize>> = Vec::with_capacity(pt.labels.len());
+    for c in 0..pt.labels.len() {
+        let slot = if config.use_feature_vector {
+            pt.features[c].as_ref().map(|fids| {
+                seqs.push(fids);
+                seqs.len() - 1
+            })
+        } else {
+            None
+        };
+        feat_slot.push(slot);
+    }
+    // Rows the classifier will read: the CLS row of every in-bounds
+    // column in segment 0, then row 0 of each feature segment.
+    let len0 = pt.masked.ids.len().min(model.encoder.config.max_len);
+    let mut needed: Vec<(usize, usize)> = pt
+        .masked
+        .cls
+        .iter()
+        .take(pt.labels.len())
+        .filter(|&&cls| cls < len0)
+        .map(|&cls| (0usize, cls))
+        .collect();
+    needed.sort_unstable();
+    needed.dedup();
+    needed.extend((1..seqs.len()).map(|si| (si, 0)));
+    kglink_nn::with_encoder_scratch(|es| {
+        let batch = {
+            let _forward = tracer.span("nn.forward");
+            model.encoder.infer_batch_rows(&seqs, &needed, es)
+        };
+        (0..pt.labels.len())
+            .map(|c| {
+                let cls = pt.masked.cls[c];
+                if cls >= batch.len(0) {
+                    return LabelId(0); // truncated column: fall back to class 0
+                }
+                let fv = feat_slot[c].map(|si| batch.row(si, 0));
+                let y_col = model.compose(batch.row(0, cls), fv);
+                let logits = model.classify(&y_col);
+                let best = logits
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                LabelId(best as u32)
+            })
+            .collect()
+    })
 }
 
 /// Evaluate a model over prepared tables.

@@ -1,0 +1,43 @@
+//! Numeric kernels for the KGLink encoder.
+//!
+//! This crate is the single home for the tensor math that used to live
+//! scattered across `kglink-nn` (`Tensor::matmul` / `matmul_tn` /
+//! `matmul_nt` and the free functions of `ops.rs`). It exposes:
+//!
+//! * [`gemm`] / [`gemm_acc`] — one matrix-multiply entry point with
+//!   transpose flags, operating on strided [`Mat`] / [`MatMut`] views so
+//!   attention heads can be sliced out of a packed `(rows × d_model)`
+//!   activation matrix without copying columns;
+//! * fused row-wise kernels — [`scaled_softmax_rows`] (the attention
+//!   `1/√d_h` scale folded into the softmax), [`layer_norm_rows`], and
+//!   [`bias_gelu_rows`] (bias add + GELU in one pass);
+//! * [`Scratch`] — a per-thread pool of recycled `f32` buffers so the
+//!   steady-state inference path performs zero heap allocations.
+//!
+//! # Parity policy
+//!
+//! Every kernel accumulates each output element over `k` **sequentially,
+//! in ascending order, starting from 0.0**, and vectorizes only across
+//! independent output elements (a 4-row × 8-column register block). Packing
+//! transposed operands is pure data movement. No `mul_add` contraction is
+//! used. The fast path is therefore **bit-identical** to the naive
+//! reference loops (toggle with [`set_reference_mode`]) and to the legacy
+//! `kglink-nn` loops, with one documented exception: the legacy kernels
+//! skipped `a[i][k] == 0.0` terms, so outputs can differ in the *sign of an
+//! exact zero* (and for non-finite operands, which trained networks never
+//! produce). Tests assert exact `==` on finite data.
+
+#![deny(deprecated)]
+#![cfg_attr(feature = "simd", feature(portable_simd))]
+
+mod fused;
+mod gemm;
+mod scratch;
+
+pub use fused::{
+    add_bias_rows, bias_gelu_rows, gelu, gelu_grad, layer_norm_rows, layer_norm_rows_cached,
+    log_softmax, mean, scaled_softmax_rows, softmax, softmax_backward_rows, softmax_rows,
+    LAYER_NORM_EPS,
+};
+pub use gemm::{gemm, gemm_acc, reference_mode, set_reference_mode, Mat, MatMut, Trans};
+pub use scratch::{with_thread_scratch, Scratch};

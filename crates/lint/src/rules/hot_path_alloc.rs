@@ -1,0 +1,250 @@
+//! `hot-path-alloc`: kernel and layer forward/backward bodies must not
+//! allocate.
+//!
+//! The kernel layer's whole contract is that steady-state inference
+//! performs zero heap allocations: every buffer comes from a preallocated
+//! [`Scratch`] arena (`kglink_kernels::Scratch`), and the counting-allocator
+//! test in `crates/nn/tests/alloc.rs` enforces the end-to-end guarantee.
+//! That test only covers the paths it drives, though — a `vec![0.0; n]`
+//! added to a rarely-taken branch of a `forward`/`backward` body regresses
+//! the per-call allocation count without failing it. This rule is the
+//! static backstop: it flags the allocation idioms (`Vec::new()`, `vec![`,
+//! `.to_vec()`, `.clone()`) inside any `fn forward`/`fn backward` body in
+//! the kernel crate (`crates/kernels/`) and the layer zoo
+//! (`crates/nn/src/layers/`).
+//!
+//! Training-path allocations that are *owned past the call* — a cache that
+//! must outlive the caller's borrow of the input, for example — are
+//! legitimate; they carry a justified
+//! `// kglink-lint: allow(hot-path-alloc)` comment. Inference entry points
+//! (`infer`, `infer_batch`) are covered by the allocation-counting test
+//! rather than this rule, because they are allowed to *warm* the scratch
+//! pool on first use.
+//!
+//! [`Scratch`]: ../../../kernels/src/scratch.rs
+
+use super::Rule;
+use crate::diag::Finding;
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+
+pub struct HotPathAlloc;
+
+/// Path prefixes whose forward/backward bodies are hot-path code. The rest
+/// of the workspace allocates freely.
+const PATH_SCOPE: &[&str] = &["crates/kernels/", "crates/nn/src/layers/"];
+
+/// Function names whose bodies the rule scans.
+const HOT_FNS: &[&str] = &["forward", "backward"];
+
+impl Rule for HotPathAlloc {
+    fn id(&self) -> &'static str {
+        "hot-path-alloc"
+    }
+
+    fn describe(&self) -> &'static str {
+        "kernel/layer forward and backward bodies allocate only through scratch arenas"
+    }
+
+    fn check_file(&mut self, f: &SourceFile, out: &mut Vec<Finding>) {
+        if f.scope != crate::source::Scope::Lib
+            || !PATH_SCOPE.iter().any(|p| f.path.starts_with(p))
+        {
+            return;
+        }
+        let n = f.code.len();
+        let mut i = 0usize;
+        while i < n {
+            let is_hot_fn = f.code_text(i) == "fn"
+                && f.code_kind(i + 1) == Some(TokKind::Ident)
+                && HOT_FNS.contains(&f.code_text(i + 1))
+                && !f.code_in_test(i);
+            if !is_hot_fn {
+                i += 1;
+                continue;
+            }
+            let Some((body_start, body_end)) = fn_body(f, i + 2) else {
+                // Trait signature (`fn forward(...);`) or unbalanced file:
+                // nothing to scan.
+                i += 2;
+                continue;
+            };
+            self.check_body(f, body_start, body_end, out);
+            i = body_end;
+        }
+    }
+}
+
+impl HotPathAlloc {
+    fn check_body(&self, f: &SourceFile, start: usize, end: usize, out: &mut Vec<Finding>) {
+        for i in start..end {
+            if f.code_in_test(i) {
+                continue;
+            }
+            let (pattern, at) = match f.code_text(i) {
+                // `Vec::new(` — `::` lexes as two `:` tokens.
+                "Vec"
+                    if f.code_text(i + 1) == ":"
+                        && f.code_text(i + 2) == ":"
+                        && f.code_text(i + 3) == "new"
+                        && f.code_text(i + 4) == "(" =>
+                {
+                    ("Vec::new()", i)
+                }
+                "vec" if f.code_text(i + 1) == "!" => ("vec![...]", i),
+                "to_vec" if i > 0 && f.code_text(i - 1) == "." && f.code_text(i + 1) == "(" => {
+                    (".to_vec()", i)
+                }
+                "clone"
+                    if i > 0
+                        && f.code_text(i - 1) == "."
+                        && f.code_text(i + 1) == "("
+                        && f.code_text(i + 2) == ")" =>
+                {
+                    (".clone()", i)
+                }
+                _ => continue,
+            };
+            out.push(Finding::new(
+                self.id(),
+                &f.path,
+                f.code_line(at),
+                format!(
+                    "`{pattern}` in a hot-path forward/backward body: take the buffer \
+                     from the scratch arena (`kernels::with_thread_scratch`) or hoist \
+                     it out of the call; if the allocation is a training cache that \
+                     must own its data, justify it with an allow comment"
+                ),
+            ));
+        }
+    }
+}
+
+/// Code-token range `(start, end)` of the body of the fn whose name sits
+/// just before `from`: skip to the parameter list's `(`, match it, then
+/// match the first following `{`. Returns `None` for bodiless signatures.
+fn fn_body(f: &SourceFile, from: usize) -> Option<(usize, usize)> {
+    let n = f.code.len();
+    let mut i = from;
+    while i < n && f.code_text(i) != "(" {
+        if f.code_text(i) == ";" || f.code_text(i) == "{" {
+            return None; // malformed or bodiless before params
+        }
+        i += 1;
+    }
+    let mut depth = 0i32;
+    while i < n {
+        match f.code_text(i) {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i += 1;
+    // Return type (may itself contain parens, e.g. `-> (Tensor, Cache)`),
+    // then the body brace — or a `;` for a trait signature.
+    let mut depth = 0i32;
+    while i < n {
+        match f.code_text(i) {
+            "(" => depth += 1,
+            ")" => depth -= 1,
+            ";" if depth == 0 => return None,
+            "{" if depth == 0 => break,
+            _ => {}
+        }
+        i += 1;
+    }
+    if i >= n {
+        return None;
+    }
+    let body_start = i + 1;
+    let mut braces = 0i32;
+    while i < n {
+        match f.code_text(i) {
+            "{" => braces += 1,
+            "}" => {
+                braces -= 1;
+                if braces == 0 {
+                    return Some((body_start, i));
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    // Unbalanced file: scan to the end rather than missing findings.
+    Some((body_start, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<u32> {
+        let f = SourceFile::new(path.into(), src.into());
+        let mut out = Vec::new();
+        HotPathAlloc.check_file(&f, &mut out);
+        out.into_iter().map(|x| x.line).collect()
+    }
+
+    const HOT: &str = "\
+pub fn forward(&self, x: &Tensor) -> Tensor {
+    let cache = x.clone();
+    let ids = self.ids.to_vec();
+    let mut buf = vec![0.0f32; 8];
+    let mut tails = Vec::new();
+    buf[0] = 1.0;
+    cache
+}
+";
+
+    #[test]
+    fn flags_all_four_patterns_in_forward() {
+        assert_eq!(
+            run("crates/nn/src/layers/linear.rs", HOT),
+            vec![2, 3, 4, 5]
+        );
+        assert_eq!(run("crates/kernels/src/gemm.rs", HOT), vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn backward_is_scanned_and_other_fns_are_not() {
+        let src = "\
+fn backward(&self) { let d = dy.clone(); }
+fn infer(&self) { let y = x.clone(); }
+fn helper() { let v = Vec::new(); }
+";
+        assert_eq!(run("crates/nn/src/layers/ffn.rs", src), vec![1]);
+    }
+
+    #[test]
+    fn out_of_scope_paths_tests_and_signatures_are_exempt() {
+        assert!(run("crates/core/src/train.rs", HOT).is_empty());
+        assert!(run("crates/nn/src/encoder.rs", HOT).is_empty());
+        assert!(run("crates/nn/tests/alloc.rs", HOT).is_empty());
+        let inline = "#[cfg(test)]\nmod t {\n    fn forward() { let v = x.clone(); }\n}\n";
+        assert!(run("crates/nn/src/layers/linear.rs", inline).is_empty());
+        let sig = "trait Layer { fn forward(&self, x: &Tensor) -> Tensor; }\n";
+        assert!(run("crates/nn/src/layers/linear.rs", sig).is_empty());
+    }
+
+    #[test]
+    fn clone_with_arguments_and_plain_idents_do_not_match() {
+        // `clone_from(...)`, a field named `clone`, and `to_vec` without a
+        // receiver are not the flagged idioms.
+        let src = "\
+fn forward(&self) {
+    a.clone_from(&b);
+    let c = self.clone;
+    let d = to_vec(x);
+}
+";
+        assert!(run("crates/nn/src/layers/linear.rs", src).is_empty());
+    }
+}

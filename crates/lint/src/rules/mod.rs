@@ -7,6 +7,7 @@
 //! adding rules.
 
 mod checkpoint_atomicity;
+mod hot_path_alloc;
 mod lock_order;
 mod nondeterminism;
 mod panic_in_lib;
@@ -16,6 +17,7 @@ mod unbounded_channel;
 mod unsafe_safety;
 
 pub use checkpoint_atomicity::CheckpointAtomicity;
+pub use hot_path_alloc::HotPathAlloc;
 pub use lock_order::LockOrder;
 pub use nondeterminism::Nondeterminism;
 pub use panic_in_lib::PanicInLib;
@@ -48,6 +50,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(LockOrder::default()),
         Box::new(UnboundedChannel),
         Box::new(UnsafeSafety),
+        Box::new(HotPathAlloc),
     ]
 }
 

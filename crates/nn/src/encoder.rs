@@ -1,5 +1,16 @@
 //! The transformer encoder: embeddings + stacked blocks.
+//!
+//! Inference has two shapes. [`Encoder::infer`] encodes one sequence.
+//! [`Encoder::infer_batch`] packs any number of sequences into one
+//! `(Σ lengths × d_model)` activation matrix and runs **one GEMM per
+//! projection per layer** for the whole batch; only the attention score
+//! products remain per-segment (they must not attend across sequence
+//! boundaries). Both paths produce bit-identical hidden states because
+//! every row's arithmetic is independent of which batch it rides in.
+//! All intermediate buffers come from an [`EncoderScratch`], so the
+//! steady-state batched path performs zero heap allocations.
 
+use crate::kernels::{self, Mat, MatMut, Trans};
 use crate::layers::block::{BlockCache, TransformerBlock};
 use crate::layers::embedding::{Embedding, EmbeddingCache};
 use crate::layers::layernorm::{LayerNorm, LayerNormCache};
@@ -8,6 +19,7 @@ use crate::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 
 /// Architecture hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -71,6 +83,84 @@ pub struct EncoderCache {
     blocks: Vec<BlockCache>,
 }
 
+/// Reusable buffers for [`Encoder::infer_batch`]: the packed hidden-state
+/// matrix, the segment offset table, and a kernel [`Scratch`] pool for
+/// every intermediate. Warm after one call with the workload's largest
+/// shapes, after which batched inference allocates nothing.
+///
+/// [`Scratch`]: kernels::Scratch
+#[derive(Debug, Default)]
+pub struct EncoderScratch {
+    ks: kernels::Scratch,
+    hidden: Tensor,
+    offsets: Vec<usize>,
+}
+
+impl EncoderScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Times the kernel scratch pool had to grow (see
+    /// [`Scratch::fresh_allocs`](kernels::Scratch::fresh_allocs)).
+    pub fn fresh_allocs(&self) -> u64 {
+        self.ks.fresh_allocs()
+    }
+}
+
+/// The result of a batched forward: hidden states for all segments packed
+/// row-wise into one matrix, with an offset table delimiting segments.
+/// Borrows the [`EncoderScratch`] it was computed into.
+#[derive(Debug)]
+pub struct BatchHidden<'s> {
+    hidden: &'s Tensor,
+    offsets: &'s [usize],
+}
+
+impl BatchHidden<'_> {
+    /// Number of encoded segments.
+    pub fn segments(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Encoded length of segment `seg` (its input length clipped to
+    /// `max_len`).
+    pub fn len(&self, seg: usize) -> usize {
+        self.offsets[seg + 1] - self.offsets[seg]
+    }
+
+    /// Hidden-state row `r` of segment `seg`.
+    pub fn row(&self, seg: usize, r: usize) -> &[f32] {
+        debug_assert!(r < self.len(seg));
+        self.hidden.row(self.offsets[seg] + r)
+    }
+
+    /// The packed `(Σ lengths × d_model)` hidden matrix.
+    pub fn packed(&self) -> &Tensor {
+        self.hidden
+    }
+
+    /// Cumulative row offsets, one entry per segment plus a final total.
+    pub fn offsets(&self) -> &[usize] {
+        self.offsets
+    }
+}
+
+thread_local! {
+    static ENC_SCRATCH: RefCell<EncoderScratch> = RefCell::new(EncoderScratch::default());
+}
+
+/// Run `f` with this thread's shared [`EncoderScratch`]. Re-entrant: a
+/// nested call sees a fresh scratch (its buffers are dropped afterwards).
+pub fn with_encoder_scratch<R>(f: impl FnOnce(&mut EncoderScratch) -> R) -> R {
+    ENC_SCRATCH.with(|cell| {
+        let mut s = cell.take();
+        let r = f(&mut s);
+        cell.replace(s);
+        r
+    })
+}
+
 impl Encoder {
     /// Build an encoder from a config (deterministic under `config.seed`).
     pub fn new(config: EncoderConfig) -> Self {
@@ -131,14 +221,356 @@ impl Encoder {
     }
 
     /// Encode without caching (inference / detached teacher branches).
+    /// A batch-of-one wrapper around [`Encoder::infer_batch`].
     pub fn infer(&self, ids: &[u32]) -> Tensor {
-        let ids = self.clip(ids);
-        let (x, _) = self.embed(ids);
-        let mut h = self.emb_ln.infer(&x);
-        for block in &self.blocks {
-            h = block.infer(&h);
+        with_encoder_scratch(|es| self.infer_batch(&[ids], es).packed().clone())
+    }
+
+    /// Encode a batch of token sequences in one packed forward pass.
+    ///
+    /// Bit-identical to calling [`Encoder::infer`] once per sequence (each
+    /// row's arithmetic is independent of its batch), but runs one GEMM
+    /// per projection per layer over all `Σ lengths` rows at once; only
+    /// the attention score products stay per-segment per-head so no
+    /// sequence attends across its boundary. All intermediates come from
+    /// `scratch` — in steady state this path performs zero heap
+    /// allocations.
+    pub fn infer_batch<'s>(
+        &self,
+        seqs: &[&[u32]],
+        scratch: &'s mut EncoderScratch,
+    ) -> BatchHidden<'s> {
+        self.forward_packed(seqs, None, scratch)
+    }
+
+    /// [`Encoder::infer_batch`] for callers that will only read a known
+    /// subset of output rows (classification reads one CLS row per
+    /// column, not the whole sequence).
+    ///
+    /// `needed` lists the `(segment, row)` pairs the caller will read,
+    /// grouped by ascending segment with strictly ascending rows within a
+    /// segment, every row in bounds after `max_len` clipping. The final
+    /// transformer block computes its row-local work (Q projection,
+    /// attention output, FFN, layer norms) **only for those rows**; the
+    /// K/V context every attention row needs still covers the full batch.
+    /// Each listed row is bit-identical to the same row from
+    /// [`Encoder::infer_batch`]; *unlisted* rows of the result hold
+    /// stale intermediate state and must not be read.
+    pub fn infer_batch_rows<'s>(
+        &self,
+        seqs: &[&[u32]],
+        needed: &[(usize, usize)],
+        scratch: &'s mut EncoderScratch,
+    ) -> BatchHidden<'s> {
+        self.forward_packed(seqs, Some(needed), scratch)
+    }
+
+    fn forward_packed<'s>(
+        &self,
+        seqs: &[&[u32]],
+        needed: Option<&[(usize, usize)]>,
+        scratch: &'s mut EncoderScratch,
+    ) -> BatchHidden<'s> {
+        let d = self.config.d_model;
+        let d_ff = self.config.d_ff;
+        let EncoderScratch { ks: s, hidden, offsets } = scratch;
+        offsets.clear();
+        offsets.push(0);
+        let mut total = 0usize;
+        for seq in seqs {
+            total += seq.len().min(self.config.max_len);
+            offsets.push(total);
         }
-        h
+        hidden.resize(total, d);
+
+        // Embedding: token row + position row, then the embedding LayerNorm.
+        for (si, seq) in seqs.iter().enumerate() {
+            let ids = self.clip(seq);
+            let base = offsets[si];
+            for (r, &id) in ids.iter().enumerate() {
+                let tok = self.token_emb.table.value.row(id as usize);
+                let pos = self.pos_emb.value.row(r);
+                let dst = hidden.row_mut(base + r);
+                for c in 0..d {
+                    dst[c] = tok[c] + pos[c];
+                }
+            }
+        }
+        kernels::layer_norm_rows(
+            hidden.data_mut(),
+            self.emb_ln.gamma.value.data(),
+            self.emb_ln.beta.value.data(),
+        );
+
+        // Activation buffers for the block loop; q and k double as the
+        // attention-output and FFN-output buffers once dead.
+        let mut q = s.take(total * d);
+        let mut k = s.take(total * d);
+        let mut v = s.take(total * d);
+        let mut ctx = s.take(total * d);
+        let mut ff = s.take(total * d_ff);
+        let last = self.blocks.len().wrapping_sub(1);
+        for (bi, block) in self.blocks.iter().enumerate() {
+            if bi == last {
+                if let Some(needed) = needed {
+                    self.last_block_rows(block, needed, hidden, offsets, &mut k, &mut v, s);
+                    break;
+                }
+            }
+            let attn = &block.attn;
+            let (n_heads, dh) = (attn.n_heads(), attn.d_head());
+            let scale = 1.0 / (dh as f32).sqrt();
+            // Q/K/V projections: one GEMM each over the whole batch.
+            for (dst, lin) in [(&mut q, &attn.wq), (&mut k, &attn.wk), (&mut v, &attn.wv)] {
+                kernels::gemm(
+                    hidden.as_mat(),
+                    lin.w.value.as_mat(),
+                    Trans::No,
+                    Trans::No,
+                    &mut MatMut::new(dst, total, d),
+                    s,
+                );
+                kernels::add_bias_rows(dst, lin.b.value.data());
+            }
+            // Attention scores per segment per head over strided views.
+            for seg in 0..seqs.len() {
+                let o = offsets[seg];
+                let l = offsets[seg + 1] - o;
+                if l == 0 {
+                    continue;
+                }
+                let mut scores = s.take(l * l);
+                for h in 0..n_heads {
+                    let off = o * d + h * dh;
+                    kernels::gemm(
+                        Mat::with_stride(&q[off..], l, dh, d),
+                        Mat::with_stride(&k[off..], l, dh, d),
+                        Trans::No,
+                        Trans::Yes,
+                        &mut MatMut::new(&mut scores, l, l),
+                        s,
+                    );
+                    kernels::scaled_softmax_rows(&mut scores, l, scale);
+                    kernels::gemm(
+                        Mat::new(&scores, l, l),
+                        Mat::with_stride(&v[off..], l, dh, d),
+                        Trans::No,
+                        Trans::No,
+                        &mut MatMut::with_stride(&mut ctx[off..], l, dh, d),
+                        s,
+                    );
+                }
+                s.give(scores);
+            }
+            // Output projection (into q, now dead) + residual + LN1.
+            kernels::gemm(
+                Mat::new(&ctx, total, d),
+                attn.wo.w.value.as_mat(),
+                Trans::No,
+                Trans::No,
+                &mut MatMut::new(&mut q, total, d),
+                s,
+            );
+            kernels::add_bias_rows(&mut q, attn.wo.b.value.data());
+            // h1 = x + attn_out (addition commutes bitwise on floats,
+            // so this matches the legacy `x.add(&a)` exactly).
+            for (a, &x_v) in q.iter_mut().zip(hidden.data().iter()) {
+                *a += x_v;
+            }
+            kernels::layer_norm_rows(
+                &mut q,
+                block.ln1.gamma.value.data(),
+                block.ln1.beta.value.data(),
+            );
+            // q now holds h. FFN: fused bias+GELU, second projection into
+            // k (dead), then the second residual + LN2 back into `hidden`.
+            kernels::gemm(
+                Mat::new(&q, total, d),
+                block.ffn.fc1.w.value.as_mat(),
+                Trans::No,
+                Trans::No,
+                &mut MatMut::new(&mut ff, total, d_ff),
+                s,
+            );
+            kernels::bias_gelu_rows(&mut ff, block.ffn.fc1.b.value.data());
+            kernels::gemm(
+                Mat::new(&ff, total, d_ff),
+                block.ffn.fc2.w.value.as_mat(),
+                Trans::No,
+                Trans::No,
+                &mut MatMut::new(&mut k, total, d),
+                s,
+            );
+            kernels::add_bias_rows(&mut k, block.ffn.fc2.b.value.data());
+            for ((out, &h_v), &f_v) in hidden.data_mut().iter_mut().zip(q.iter()).zip(k.iter()) {
+                *out = h_v + f_v;
+            }
+            kernels::layer_norm_rows(
+                hidden.data_mut(),
+                block.ln2.gamma.value.data(),
+                block.ln2.beta.value.data(),
+            );
+        }
+        s.give(q);
+        s.give(k);
+        s.give(v);
+        s.give(ctx);
+        s.give(ff);
+        BatchHidden {
+            hidden: &*hidden,
+            offsets: offsets.as_slice(),
+        }
+    }
+
+    /// The final transformer block, computed only for the `needed`
+    /// output rows (see [`Encoder::infer_batch_rows`]). Attention K/V
+    /// still spans every row of the batch; everything else — Q, scores,
+    /// context, output projection, residuals, layer norms, FFN — runs on
+    /// a gathered `(needed × d)` matrix and is scattered back into
+    /// `hidden` at the end. Row arithmetic is untouched, so each written
+    /// row is bit-identical to the unpruned forward.
+    #[allow(clippy::too_many_arguments)]
+    fn last_block_rows(
+        &self,
+        block: &TransformerBlock,
+        needed: &[(usize, usize)],
+        hidden: &mut Tensor,
+        offsets: &[usize],
+        k: &mut [f32],
+        v: &mut [f32],
+        s: &mut kernels::Scratch,
+    ) {
+        let d = self.config.d_model;
+        let d_ff = self.config.d_ff;
+        let total = hidden.rows();
+        let nr = needed.len();
+        debug_assert!(
+            needed
+                .windows(2)
+                .all(|w| w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1)),
+            "needed rows must be grouped by ascending segment, ascending row"
+        );
+        if nr == 0 {
+            return;
+        }
+        let attn = &block.attn;
+        let (n_heads, dh) = (attn.n_heads(), attn.d_head());
+        let scale = 1.0 / (dh as f32).sqrt();
+        // K/V must cover every row any needed row attends over.
+        for (dst, lin) in [(&mut *k, &attn.wk), (&mut *v, &attn.wv)] {
+            kernels::gemm(
+                hidden.as_mat(),
+                lin.w.value.as_mat(),
+                Trans::No,
+                Trans::No,
+                &mut MatMut::new(dst, total, d),
+                s,
+            );
+            kernels::add_bias_rows(dst, lin.b.value.data());
+        }
+        // Gather the needed block-input rows, then project Q for them only.
+        let mut hc = s.take(nr * d);
+        for (ci, &(seg, r)) in needed.iter().enumerate() {
+            debug_assert!(seg < offsets.len() - 1 && r < offsets[seg + 1] - offsets[seg]);
+            hc[ci * d..(ci + 1) * d].copy_from_slice(hidden.row(offsets[seg] + r));
+        }
+        let mut qc = s.take(nr * d);
+        kernels::gemm(
+            Mat::new(&hc, nr, d),
+            attn.wq.w.value.as_mat(),
+            Trans::No,
+            Trans::No,
+            &mut MatMut::new(&mut qc, nr, d),
+            s,
+        );
+        kernels::add_bias_rows(&mut qc, attn.wq.b.value.data());
+        // Attention per segment-run of needed rows, per head.
+        let mut ctxc = s.take(nr * d);
+        let mut ci = 0;
+        while ci < nr {
+            let seg = needed[ci].0;
+            let mut cj = ci;
+            while cj < nr && needed[cj].0 == seg {
+                cj += 1;
+            }
+            let nseg = cj - ci;
+            let o = offsets[seg];
+            let l = offsets[seg + 1] - o;
+            let mut scores = s.take(nseg * l);
+            for h in 0..n_heads {
+                let off_kv = o * d + h * dh;
+                kernels::gemm(
+                    Mat::with_stride(&qc[ci * d + h * dh..], nseg, dh, d),
+                    Mat::with_stride(&k[off_kv..], l, dh, d),
+                    Trans::No,
+                    Trans::Yes,
+                    &mut MatMut::new(&mut scores, nseg, l),
+                    s,
+                );
+                kernels::scaled_softmax_rows(&mut scores, l, scale);
+                kernels::gemm(
+                    Mat::new(&scores, nseg, l),
+                    Mat::with_stride(&v[off_kv..], l, dh, d),
+                    Trans::No,
+                    Trans::No,
+                    &mut MatMut::with_stride(&mut ctxc[ci * d + h * dh..], nseg, dh, d),
+                    s,
+                );
+            }
+            s.give(scores);
+            ci = cj;
+        }
+        // Output projection + residual + LN1, all on the gathered rows.
+        let mut ac = s.take(nr * d);
+        kernels::gemm(
+            Mat::new(&ctxc, nr, d),
+            attn.wo.w.value.as_mat(),
+            Trans::No,
+            Trans::No,
+            &mut MatMut::new(&mut ac, nr, d),
+            s,
+        );
+        kernels::add_bias_rows(&mut ac, attn.wo.b.value.data());
+        for (a, &x_v) in ac.iter_mut().zip(hc.iter()) {
+            *a += x_v;
+        }
+        kernels::layer_norm_rows(&mut ac, block.ln1.gamma.value.data(), block.ln1.beta.value.data());
+        // FFN into qc (dead), then the second residual + LN2, scattered
+        // back into `hidden` at the needed rows.
+        let mut ffc = s.take(nr * d_ff);
+        kernels::gemm(
+            Mat::new(&ac, nr, d),
+            block.ffn.fc1.w.value.as_mat(),
+            Trans::No,
+            Trans::No,
+            &mut MatMut::new(&mut ffc, nr, d_ff),
+            s,
+        );
+        kernels::bias_gelu_rows(&mut ffc, block.ffn.fc1.b.value.data());
+        kernels::gemm(
+            Mat::new(&ffc, nr, d_ff),
+            block.ffn.fc2.w.value.as_mat(),
+            Trans::No,
+            Trans::No,
+            &mut MatMut::new(&mut qc, nr, d),
+            s,
+        );
+        kernels::add_bias_rows(&mut qc, block.ffn.fc2.b.value.data());
+        // h2 = h + ffn_out, bit-parity with the unpruned loop.
+        for (out, &h_v) in qc.iter_mut().zip(ac.iter()) {
+            *out += h_v;
+        }
+        kernels::layer_norm_rows(&mut qc, block.ln2.gamma.value.data(), block.ln2.beta.value.data());
+        for (ci, &(seg, r)) in needed.iter().enumerate() {
+            hidden
+                .row_mut(offsets[seg] + r)
+                .copy_from_slice(&qc[ci * d..(ci + 1) * d]);
+        }
+        s.give(hc);
+        s.give(qc);
+        s.give(ctxc);
+        s.give(ac);
+        s.give(ffc);
     }
 
     /// Backward from `dh` (gradient w.r.t. the final hidden states).
@@ -221,6 +653,33 @@ mod tests {
     }
 
     #[test]
+    fn pruned_batch_rows_match_full_batch_bitwise() {
+        let enc = Encoder::new(tiny_config());
+        let seqs_owned: Vec<Vec<u32>> = vec![
+            (0..11).map(|i| (i * 3) % 20).collect(),
+            (0..5).map(|i| (i * 7) % 20).collect(),
+            (0..9).map(|i| (i * 5 + 1) % 20).collect(),
+        ];
+        let seqs: Vec<&[u32]> = seqs_owned.iter().map(Vec::as_slice).collect();
+        // Several rows in one segment, a lone CLS row in the others.
+        let needed = [(0usize, 2usize), (0, 7), (0, 10), (1, 0), (2, 0)];
+        let mut full_s = EncoderScratch::new();
+        let full: Vec<Vec<f32>> = {
+            let b = enc.infer_batch(&seqs, &mut full_s);
+            needed.iter().map(|&(seg, r)| b.row(seg, r).to_vec()).collect()
+        };
+        let mut pruned_s = EncoderScratch::new();
+        let b = enc.infer_batch_rows(&seqs, &needed, &mut pruned_s);
+        for (&(seg, r), want) in needed.iter().zip(&full) {
+            let got = b.row(seg, r);
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(want) {
+                assert_eq!(g.to_bits(), w.to_bits(), "row ({seg},{r}) diverged");
+            }
+        }
+    }
+
+    #[test]
     fn construction_is_deterministic() {
         let e1 = Encoder::new(tiny_config());
         let e2 = Encoder::new(tiny_config());
@@ -274,6 +733,59 @@ mod tests {
         assert!(
             (num - ana).abs() < 0.05 * (1.0 + ana.abs()),
             "numeric {num} vs analytic {ana}"
+        );
+    }
+
+    #[test]
+    fn batched_forward_is_bit_identical_to_sequential() {
+        let enc = Encoder::new(tiny_config());
+        let seqs: Vec<Vec<u32>> = vec![
+            vec![2, 5, 6, 3],
+            vec![2, 7, 3],
+            vec![2, 1, 4, 9, 11, 3],
+            vec![2, 3],
+        ];
+        let refs: Vec<&[u32]> = seqs.iter().map(|s| s.as_slice()).collect();
+        let mut scratch = EncoderScratch::new();
+        let batch = enc.infer_batch(&refs, &mut scratch);
+        assert_eq!(batch.segments(), 4);
+        for (si, seq) in seqs.iter().enumerate() {
+            let single = enc.infer(seq);
+            assert_eq!(batch.len(si), single.rows());
+            for r in 0..single.rows() {
+                assert_eq!(batch.row(si, r), single.row(r), "segment {si} row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_forward_handles_empty_and_overlong_segments() {
+        let enc = Encoder::new(tiny_config());
+        let long: Vec<u32> = (0..40).map(|i| i % 20).collect();
+        let refs: Vec<&[u32]> = vec![&[], &long, &[2, 3]];
+        let mut scratch = EncoderScratch::new();
+        let batch = enc.infer_batch(&refs, &mut scratch);
+        assert_eq!(batch.len(0), 0);
+        assert_eq!(batch.len(1), 16, "clipped to max_len");
+        assert_eq!(batch.len(2), 2);
+        assert_eq!(batch.packed().rows(), 18);
+    }
+
+    #[test]
+    fn batched_forward_is_allocation_free_in_steady_state() {
+        let enc = Encoder::new(tiny_config());
+        let seqs: Vec<&[u32]> = vec![&[2, 5, 6, 3], &[2, 7, 9, 11, 3]];
+        let mut scratch = EncoderScratch::new();
+        // Warm-up call sizes every pool buffer.
+        enc.infer_batch(&seqs, &mut scratch);
+        let warm = scratch.fresh_allocs();
+        for _ in 0..5 {
+            enc.infer_batch(&seqs, &mut scratch);
+        }
+        assert_eq!(
+            scratch.fresh_allocs(),
+            warm,
+            "steady-state batched inference must not grow the scratch pool"
         );
     }
 

@@ -1,8 +1,8 @@
 //! Multi-head self-attention with full backward pass.
 
+use crate::kernels::{self, Mat, MatMut, Trans};
 use crate::layers::linear::{Linear, LinearCache};
 use crate::layers::param::{HasParams, Param};
-use crate::ops::{softmax_backward_rows, softmax_rows};
 use crate::tensor::Tensor;
 use rand::rngs::StdRng;
 
@@ -49,28 +49,26 @@ impl MultiHeadSelfAttention {
         }
     }
 
+    /// Number of attention heads.
+    pub fn n_heads(&self) -> usize {
+        self.n_heads
+    }
+
     /// Head width.
-    fn d_head(&self) -> usize {
+    pub fn d_head(&self) -> usize {
         self.wq.d_out() / self.n_heads
     }
 
-    /// Copy the `h`-th head's columns out of a `(L × d)` tensor.
-    fn slice_head(x: &Tensor, h: usize, dh: usize) -> Tensor {
-        let mut out = Tensor::zeros(x.rows(), dh);
-        for r in 0..x.rows() {
-            out.row_mut(r).copy_from_slice(&x.row(r)[h * dh..(h + 1) * dh]);
-        }
-        out
+    /// Strided view of the `h`-th head's columns of a `(L × d)` tensor —
+    /// no copy, the kernel layer handles the stride.
+    fn head(x: &Tensor, h: usize, dh: usize) -> Mat<'_> {
+        Mat::with_stride(&x.data()[h * dh..], x.rows(), dh, x.cols())
     }
 
-    /// Add a `(L × dh)` tensor back into the `h`-th head's columns.
-    fn unslice_head(dst: &mut Tensor, src: &Tensor, h: usize, dh: usize) {
-        for r in 0..src.rows() {
-            let d = &mut dst.row_mut(r)[h * dh..(h + 1) * dh];
-            for (a, &b) in d.iter_mut().zip(src.row(r)) {
-                *a += b;
-            }
-        }
+    /// Mutable strided view of the `h`-th head's columns.
+    fn head_mut(x: &mut Tensor, h: usize, dh: usize) -> MatMut<'_> {
+        let (rows, cols) = x.shape();
+        MatMut::with_stride(&mut x.data_mut()[h * dh..], rows, dh, cols)
     }
 
     /// Forward with cache.
@@ -83,17 +81,31 @@ impl MultiHeadSelfAttention {
         let l = x.rows();
         let mut ctx = Tensor::zeros(l, self.wq.d_out());
         let mut probs = Vec::with_capacity(self.n_heads);
-        for h in 0..self.n_heads {
-            let qh = Self::slice_head(&q, h, dh);
-            let kh = Self::slice_head(&k, h, dh);
-            let vh = Self::slice_head(&v, h, dh);
-            let mut scores = qh.matmul_nt(&kh);
-            scores.scale(scale);
-            softmax_rows(&mut scores);
-            let ctx_h = scores.matmul(&vh);
-            Self::unslice_head(&mut ctx, &ctx_h, h, dh);
-            probs.push(scores);
-        }
+        kernels::with_thread_scratch(|s| {
+            for h in 0..self.n_heads {
+                // The post-softmax attention matrix is freshly allocated
+                // (not scratch) because the cache owns it for backward.
+                let mut scores = Tensor::zeros(l, l);
+                kernels::gemm(
+                    Self::head(&q, h, dh),
+                    Self::head(&k, h, dh),
+                    Trans::No,
+                    Trans::Yes,
+                    &mut scores.as_mat_mut(),
+                    s,
+                );
+                kernels::scaled_softmax_rows(scores.data_mut(), l, scale);
+                kernels::gemm(
+                    scores.as_mat(),
+                    Self::head(&v, h, dh),
+                    Trans::No,
+                    Trans::No,
+                    &mut Self::head_mut(&mut ctx, h, dh),
+                    s,
+                );
+                probs.push(scores);
+            }
+        });
         let (y, co) = self.wo.forward(&ctx);
         (
             y,
@@ -110,24 +122,38 @@ impl MultiHeadSelfAttention {
         )
     }
 
-    /// Forward without caching.
+    /// Forward without caching: scores live entirely in scratch.
     pub fn infer(&self, x: &Tensor) -> Tensor {
         let dh = self.d_head();
         let scale = 1.0 / (dh as f32).sqrt();
         let q = self.wq.infer(x);
         let k = self.wk.infer(x);
         let v = self.wv.infer(x);
-        let mut ctx = Tensor::zeros(x.rows(), self.wq.d_out());
-        for h in 0..self.n_heads {
-            let qh = Self::slice_head(&q, h, dh);
-            let kh = Self::slice_head(&k, h, dh);
-            let vh = Self::slice_head(&v, h, dh);
-            let mut scores = qh.matmul_nt(&kh);
-            scores.scale(scale);
-            softmax_rows(&mut scores);
-            let ctx_h = scores.matmul(&vh);
-            Self::unslice_head(&mut ctx, &ctx_h, h, dh);
-        }
+        let l = x.rows();
+        let mut ctx = Tensor::zeros(l, self.wq.d_out());
+        kernels::with_thread_scratch(|s| {
+            let mut scores = s.take(l * l);
+            for h in 0..self.n_heads {
+                kernels::gemm(
+                    Self::head(&q, h, dh),
+                    Self::head(&k, h, dh),
+                    Trans::No,
+                    Trans::Yes,
+                    &mut MatMut::new(&mut scores, l, l),
+                    s,
+                );
+                kernels::scaled_softmax_rows(&mut scores, l, scale);
+                kernels::gemm(
+                    Mat::new(&scores, l, l),
+                    Self::head(&v, h, dh),
+                    Trans::No,
+                    Trans::No,
+                    &mut Self::head_mut(&mut ctx, h, dh),
+                    s,
+                );
+            }
+            s.give(scores);
+        });
         self.wo.infer(&ctx)
     }
 
@@ -141,25 +167,52 @@ impl MultiHeadSelfAttention {
         let mut dq = Tensor::zeros(l, d);
         let mut dk = Tensor::zeros(l, d);
         let mut dv = Tensor::zeros(l, d);
-        for h in 0..self.n_heads {
-            let dctx_h = Self::slice_head(&dctx, h, dh);
-            let kh = Self::slice_head(&cache.k, h, dh);
-            let vh = Self::slice_head(&cache.v, h, dh);
-            let qh = Self::slice_head(&cache.q, h, dh);
-            let probs = &cache.probs[h];
-            // dA = dctx_h · Vᵀ ; dV = Aᵀ · dctx_h
-            let mut d_probs = dctx_h.matmul_nt(&vh);
-            let dvh = probs.matmul_tn(&dctx_h);
-            // Through softmax.
-            softmax_backward_rows(probs, &mut d_probs);
-            // Through scaling and QKᵀ.
-            d_probs.scale(scale);
-            let dqh = d_probs.matmul(&kh);
-            let dkh = d_probs.matmul_tn(&qh);
-            Self::unslice_head(&mut dq, &dqh, h, dh);
-            Self::unslice_head(&mut dk, &dkh, h, dh);
-            Self::unslice_head(&mut dv, &dvh, h, dh);
-        }
+        kernels::with_thread_scratch(|s| {
+            let mut d_probs = s.take(l * l);
+            for h in 0..self.n_heads {
+                let probs = &cache.probs[h];
+                // dA = dctx_h · Vᵀ ; dV = Aᵀ · dctx_h
+                kernels::gemm(
+                    Self::head(&dctx, h, dh),
+                    Self::head(&cache.v, h, dh),
+                    Trans::No,
+                    Trans::Yes,
+                    &mut MatMut::new(&mut d_probs, l, l),
+                    s,
+                );
+                kernels::gemm(
+                    probs.as_mat(),
+                    Self::head(&dctx, h, dh),
+                    Trans::Yes,
+                    Trans::No,
+                    &mut Self::head_mut(&mut dv, h, dh),
+                    s,
+                );
+                // Through softmax.
+                kernels::softmax_backward_rows(probs.data(), &mut d_probs, l);
+                // Through scaling and QKᵀ.
+                for g in &mut d_probs {
+                    *g *= scale;
+                }
+                kernels::gemm(
+                    Mat::new(&d_probs, l, l),
+                    Self::head(&cache.k, h, dh),
+                    Trans::No,
+                    Trans::No,
+                    &mut Self::head_mut(&mut dq, h, dh),
+                    s,
+                );
+                kernels::gemm(
+                    Mat::new(&d_probs, l, l),
+                    Self::head(&cache.q, h, dh),
+                    Trans::Yes,
+                    Trans::No,
+                    &mut Self::head_mut(&mut dk, h, dh),
+                    s,
+                );
+            }
+            s.give(d_probs);
+        });
         let mut dx = self.wq.backward(&cache.cq, &dq);
         dx.add_assign(&self.wk.backward(&cache.ck, &dk));
         dx.add_assign(&self.wv.backward(&cache.cv, &dv));

@@ -1,8 +1,8 @@
 //! Position-wise feed-forward network with GELU.
 
+use crate::kernels::{self, gelu, gelu_grad, Trans};
 use crate::layers::linear::{Linear, LinearCache};
 use crate::layers::param::{HasParams, Param};
-use crate::ops::{gelu, gelu_grad};
 use crate::tensor::Tensor;
 use rand::rngs::StdRng;
 
@@ -34,6 +34,9 @@ impl FeedForward {
     /// Forward with cache.
     pub fn forward(&self, x: &Tensor) -> (Tensor, FfnCache) {
         let (hidden_pre, c1) = self.fc1.forward(x);
+        // kglink-lint: allow(hot-path-alloc) — the pre-activation must be
+        // kept for the GELU derivative, so the activated copy is a real
+        // second buffer.
         let mut hidden = hidden_pre.clone();
         for v in hidden.data_mut() {
             *v = gelu(*v);
@@ -49,12 +52,21 @@ impl FeedForward {
         )
     }
 
-    /// Forward without caching.
+    /// Forward without caching: `x·W1` then the fused bias+GELU kernel,
+    /// then the second projection.
     pub fn infer(&self, x: &Tensor) -> Tensor {
-        let mut hidden = self.fc1.infer(x);
-        for v in hidden.data_mut() {
-            *v = gelu(*v);
-        }
+        let mut hidden = Tensor::zeros(x.rows(), self.fc1.d_out());
+        kernels::with_thread_scratch(|s| {
+            kernels::gemm(
+                x.as_mat(),
+                self.fc1.w.value.as_mat(),
+                Trans::No,
+                Trans::No,
+                &mut hidden.as_mat_mut(),
+                s,
+            );
+        });
+        kernels::bias_gelu_rows(hidden.data_mut(), self.fc1.b.value.data());
         self.fc2.infer(&hidden)
     }
 

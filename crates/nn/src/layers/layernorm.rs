@@ -1,9 +1,8 @@
 //! Layer normalization over the feature dimension.
 
+use crate::kernels;
 use crate::layers::param::{HasParams, Param};
 use crate::tensor::Tensor;
-
-const EPS: f32 = 1e-5;
 
 /// LayerNorm with learned gain `γ` and bias `β`.
 #[derive(Debug, Clone)]
@@ -34,26 +33,26 @@ impl LayerNorm {
         let mut x_hat = Tensor::zeros(x.rows(), d);
         let mut inv_std = Vec::with_capacity(x.rows());
         let mut y = Tensor::zeros(x.rows(), d);
-        for r in 0..x.rows() {
-            let row = x.row(r);
-            let mean: f32 = row.iter().sum::<f32>() / d as f32;
-            let var: f32 = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / d as f32;
-            let istd = 1.0 / (var + EPS).sqrt();
-            inv_std.push(istd);
-            let xh = x_hat.row_mut(r);
-            let yo = &mut y.data_mut()[r * d..(r + 1) * d];
-            for c in 0..d {
-                let h = (row[c] - mean) * istd;
-                xh[c] = h;
-                yo[c] = h * self.gamma.value.data()[c] + self.beta.value.data()[c];
-            }
-        }
+        kernels::layer_norm_rows_cached(
+            x.data(),
+            self.gamma.value.data(),
+            self.beta.value.data(),
+            y.data_mut(),
+            x_hat.data_mut(),
+            &mut inv_std,
+        );
         (y, LayerNormCache { x_hat, inv_std })
     }
 
     /// Forward without caching.
     pub fn infer(&self, x: &Tensor) -> Tensor {
-        self.forward(x).0
+        let mut y = x.clone();
+        kernels::layer_norm_rows(
+            y.data_mut(),
+            self.gamma.value.data(),
+            self.beta.value.data(),
+        );
+        y
     }
 
     /// Backward: accumulates `dγ`, `dβ`, returns `dx`.
@@ -61,6 +60,8 @@ impl LayerNorm {
         let d = dy.cols();
         let mut dx = Tensor::zeros(dy.rows(), d);
         let gamma = self.gamma.value.data();
+        // One scratch row hoisted out of the per-row loop.
+        let mut dxhat = kernels::with_thread_scratch(|s| s.take(d));
         for r in 0..dy.rows() {
             let g = dy.row(r);
             let xh = cache.x_hat.row(r);
@@ -76,7 +77,6 @@ impl LayerNorm {
             // dx = (istd/d) * (d*dxhat - Σdxhat - xhat * Σ(dxhat ⊙ xhat))
             let mut sum_dxhat = 0.0f32;
             let mut sum_dxhat_xhat = 0.0f32;
-            let mut dxhat = vec![0.0f32; d];
             for c in 0..d {
                 dxhat[c] = g[c] * gamma[c];
                 sum_dxhat += dxhat[c];
@@ -89,6 +89,7 @@ impl LayerNorm {
                 out[c] = istd / n * (n * dxhat[c] - sum_dxhat - xh[c] * sum_dxhat_xhat);
             }
         }
+        kernels::with_thread_scratch(|s| s.give(dxhat));
         dx
     }
 }

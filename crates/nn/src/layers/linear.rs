@@ -1,5 +1,6 @@
 //! Fully-connected layer `y = xW + b`.
 
+use crate::kernels::{self, Trans};
 use crate::layers::param::{HasParams, Param};
 use crate::tensor::Tensor;
 use rand::rngs::StdRng;
@@ -31,21 +32,51 @@ impl Linear {
     /// Forward with cache for a later backward.
     pub fn forward(&self, x: &Tensor) -> (Tensor, LinearCache) {
         let y = self.infer(x);
+        // kglink-lint: allow(hot-path-alloc) — the training cache must own
+        // the input past the caller's borrow.
         (y, LinearCache { x: x.clone() })
     }
 
     /// Forward without caching (inference / teacher branches).
     pub fn infer(&self, x: &Tensor) -> Tensor {
-        let mut y = x.matmul(&self.w.value);
-        y.add_row_broadcast(&self.b.value);
+        let mut y = Tensor::zeros(x.rows(), self.d_out());
+        kernels::with_thread_scratch(|s| {
+            kernels::gemm(
+                x.as_mat(),
+                self.w.value.as_mat(),
+                Trans::No,
+                Trans::No,
+                &mut y.as_mat_mut(),
+                s,
+            );
+        });
+        kernels::add_bias_rows(y.data_mut(), self.b.value.data());
         y
     }
 
     /// Backward: accumulates `dW = xᵀ dy`, `db = Σ dy`, returns `dx = dy Wᵀ`.
     pub fn backward(&mut self, cache: &LinearCache, dy: &Tensor) -> Tensor {
-        self.w.grad.add_assign(&cache.x.matmul_tn(dy));
+        let mut dx = Tensor::zeros(dy.rows(), self.d_in());
+        kernels::with_thread_scratch(|s| {
+            kernels::gemm_acc(
+                cache.x.as_mat(),
+                dy.as_mat(),
+                Trans::Yes,
+                Trans::No,
+                &mut self.w.grad.as_mat_mut(),
+                s,
+            );
+            kernels::gemm(
+                dy.as_mat(),
+                self.w.value.as_mat(),
+                Trans::No,
+                Trans::Yes,
+                &mut dx.as_mat_mut(),
+                s,
+            );
+        });
         self.b.grad.add_assign(&dy.sum_rows());
-        dy.matmul_nt(&self.w.value)
+        dx
     }
 
     /// Input dimension.

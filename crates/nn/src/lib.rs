@@ -12,9 +12,12 @@
 //!
 //! Design notes:
 //!
-//! * Sequences are processed one at a time at their true length; mini-batch
-//!   semantics come from gradient accumulation, so no padding/attention
-//!   masks are needed.
+//! * Training processes sequences one at a time at their true length;
+//!   mini-batch semantics come from gradient accumulation, so no
+//!   padding/attention masks are needed. Inference has a batched path
+//!   ([`Encoder::infer_batch`]) that packs many sequences into one
+//!   activation matrix and runs one GEMM per projection for the whole
+//!   batch — segments keep their true lengths, so still no padding.
 //! * Layers return explicit cache structs from `forward`; `backward`
 //!   consumes the cache and accumulates parameter gradients. This makes
 //!   multi-forward training steps (masked table + ground-truth table +
@@ -25,17 +28,19 @@
 
 pub mod checkpoint;
 pub mod encoder;
+pub mod kernels;
 pub mod layers;
 pub mod loss;
 pub mod mlm;
-pub mod ops;
 pub mod optim;
 pub mod serialize;
 pub mod tensor;
 pub mod tokenizer;
 
 pub use checkpoint::{CheckpointError, Checkpointer, TrainCheckpoint};
-pub use encoder::{Encoder, EncoderCache, EncoderConfig};
+pub use encoder::{
+    with_encoder_scratch, BatchHidden, Encoder, EncoderCache, EncoderConfig, EncoderScratch,
+};
 pub use layers::param::Param;
 pub use loss::{cross_entropy, dmlm_loss, Task, UncertaintyWeights};
 pub use mlm::{MlmHead, MlmPretrainConfig, MlmPretrainer};

@@ -1,7 +1,7 @@
 //! Loss functions: cross-entropy, DMLM distillation, uncertainty weighting.
 
 use crate::layers::param::{HasParams, Param};
-use crate::ops::{log_softmax, softmax};
+use crate::kernels::{log_softmax, softmax};
 use crate::tensor::Tensor;
 
 /// Cross-entropy of a single logit row against a target class (paper

@@ -1,16 +1,19 @@
 //! A minimal row-major 2-D `f32` tensor.
 //!
 //! Everything the transformer needs is expressible with (seq_len × dim)
-//! matrices, so this stays deliberately 2-D. The matmul kernel uses the
-//! i-k-j loop order so the inner loop is a unit-stride FMA the compiler
-//! auto-vectorizes; on the single-core machine this reproduction targets
-//! it reaches a few GFLOP/s, enough for the scaled-down experiments.
+//! matrices, so this stays deliberately 2-D. All matrix products go
+//! through the blocked register-tiled [`kglink_kernels::gemm`] entry
+//! point; transposed products are expressed with [`Trans`] flags at the
+//! call site (`gemm(x, w, Trans::Yes, Trans::No, ...)`) instead of the
+//! former `matmul_tn`/`matmul_nt` method variants. [`Tensor::matmul`]
+//! survives as a thin delegating convenience for the NN case.
 
+use kglink_kernels::{self as kernels, Mat, MatMut, Trans};
 use rand::rngs::StdRng;
 use rand::Rng;
 
 /// A dense row-major matrix of `f32`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Tensor {
     rows: usize,
     cols: usize,
@@ -115,66 +118,44 @@ impl Tensor {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Matrix product `self × other`.
+    /// Immutable kernel view of the whole tensor.
+    #[inline]
+    pub fn as_mat(&self) -> Mat<'_> {
+        Mat::new(&self.data, self.rows, self.cols)
+    }
+
+    /// Mutable kernel view of the whole tensor.
+    #[inline]
+    pub fn as_mat_mut(&mut self) -> MatMut<'_> {
+        MatMut::new(&mut self.data, self.rows, self.cols)
+    }
+
+    /// Reshape to `rows × cols`, zero-filled, reusing the allocation when
+    /// capacity allows.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Matrix product `self × other` (delegates to [`kernels::gemm`]).
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         let mut out = Tensor::zeros(self.rows, other.cols);
-        let n = other.cols;
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (k, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[k * n..(k + 1) * n];
-                for j in 0..n {
-                    out_row[j] += a_ik * b_row[j];
-                }
-            }
-        }
-        out
-    }
-
-    /// `selfᵀ × other` without materializing the transpose.
-    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.rows, other.rows, "matmul_tn shape mismatch");
-        let mut out = Tensor::zeros(self.cols, other.cols);
-        let n = other.cols;
-        for k in 0..self.rows {
-            let a_row = self.row(k);
-            let b_row = other.row(k);
-            for (i, &a_ki) in a_row.iter().enumerate() {
-                if a_ki == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for j in 0..n {
-                    out_row[j] += a_ki * b_row[j];
-                }
-            }
-        }
-        out
-    }
-
-    /// `self × otherᵀ` without materializing the transpose.
-    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
-        let mut out = Tensor::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..other.rows {
-                let b_row = other.row(j);
-                let mut acc = 0.0f32;
-                for k in 0..self.cols {
-                    acc += a_row[k] * b_row[k];
-                }
-                out.data[i * other.rows + j] = acc;
-            }
-        }
+        kernels::with_thread_scratch(|s| {
+            kernels::gemm(
+                self.as_mat(),
+                other.as_mat(),
+                Trans::No,
+                Trans::No,
+                &mut out.as_mat_mut(),
+                s,
+            );
+        });
         out
     }
 
@@ -285,27 +266,33 @@ mod tests {
     }
 
     #[test]
-    fn matmul_tn_equals_explicit_transpose() {
+    fn gemm_transpose_flags_equal_explicit_transpose() {
         let mut rng = StdRng::seed_from_u64(1);
         let a = Tensor::xavier(4, 3, &mut rng);
         let b = Tensor::xavier(4, 5, &mut rng);
-        let fast = a.matmul_tn(&b);
+        let mut tn = Tensor::zeros(3, 5);
+        kernels::with_thread_scratch(|s| {
+            kernels::gemm(a.as_mat(), b.as_mat(), Trans::Yes, Trans::No, &mut tn.as_mat_mut(), s);
+        });
         let slow = a.transpose().matmul(&b);
-        for (x, y) in fast.data().iter().zip(slow.data()) {
-            assert!((x - y).abs() < 1e-5);
-        }
+        assert_eq!(tn, slow, "packing is pure data movement: bit-identical");
+        let c = Tensor::xavier(5, 3, &mut rng);
+        let mut nt = Tensor::zeros(4, 5);
+        kernels::with_thread_scratch(|s| {
+            kernels::gemm(a.as_mat(), c.as_mat(), Trans::No, Trans::Yes, &mut nt.as_mat_mut(), s);
+        });
+        let slow = a.matmul(&c.transpose());
+        assert_eq!(nt, slow);
     }
 
     #[test]
-    fn matmul_nt_equals_explicit_transpose() {
-        let mut rng = StdRng::seed_from_u64(2);
-        let a = Tensor::xavier(4, 3, &mut rng);
-        let b = Tensor::xavier(5, 3, &mut rng);
-        let fast = a.matmul_nt(&b);
-        let slow = a.matmul(&b.transpose());
-        for (x, y) in fast.data().iter().zip(slow.data()) {
-            assert!((x - y).abs() < 1e-5);
-        }
+    fn resize_reuses_allocation_and_zeroes() {
+        let mut a = t(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let ptr = a.data().as_ptr();
+        a.resize(3, 2);
+        assert_eq!(a.shape(), (3, 2));
+        assert!(a.data().iter().all(|&v| v == 0.0));
+        assert_eq!(a.data().as_ptr(), ptr, "same-size resize keeps the buffer");
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! Steady-state inference performs **zero** heap allocations.
+//!
+//! The scratch-arena design (`kglink_kernels::Scratch` +
+//! `EncoderScratch`) claims that after the first warm-up call, every
+//! buffer the batched forward needs comes out of a preallocated pool.
+//! `EncoderScratch::fresh_allocs` already counts pool misses, but it can
+//! only see allocations routed *through* the pool. This test installs a
+//! counting global allocator and asserts on the real thing: the process
+//! allocation counter must not move across repeated `infer_batch` calls.
+//!
+//! The test lives alone in its own integration-test binary on purpose —
+//! any concurrently running test would allocate and poison the counter.
+
+use kglink_nn::{Encoder, EncoderConfig, EncoderScratch};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// System allocator with a call counter on every acquisition path
+/// (`alloc`, `alloc_zeroed`, and growth via `realloc`).
+struct CountingAlloc;
+
+// SAFETY: every method forwards its arguments unchanged to `System`,
+// which upholds the `GlobalAlloc` contract; the counter bump is a
+// side-effect-free atomic and cannot violate it.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: delegates to `System::alloc` with the caller's layout.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `layout` is the caller's, passed through untouched.
+        unsafe { System.alloc(layout) }
+    }
+
+    // SAFETY: delegates to `System::alloc_zeroed` with the caller's layout.
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `layout` is the caller's, passed through untouched.
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    // SAFETY: delegates to `System::realloc`; the caller owns the contract.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `ptr`/`layout`/`new_size` come straight from the caller,
+        // who must satisfy `realloc`'s contract; we forward them as-is.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    // SAFETY: delegates to `System::dealloc`; `ptr` came from this impl.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` was produced by `System` via one of the methods
+        // above with this same `layout`; forwarding is sound.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static COUNTING: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_batched_inference_is_allocation_free() {
+    let encoder = Encoder::new(EncoderConfig::mini(256));
+    let seqs: Vec<Vec<u32>> = (0..6)
+        .map(|i| (0..(5 + i * 7)).map(|t| (t % 251) as u32).collect())
+        .collect();
+    let refs: Vec<&[u32]> = seqs.iter().map(Vec::as_slice).collect();
+    let mut scratch = EncoderScratch::new();
+
+    // Warm-up: sizes the scratch pool, the packed hidden buffer, and the
+    // offsets table for this batch shape.
+    let warm: Vec<f32> = {
+        let out = encoder.infer_batch(&refs, &mut scratch);
+        out.packed().data().to_vec()
+    };
+
+    let pool_misses = scratch.fresh_allocs();
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    for _ in 0..5 {
+        let out = encoder.infer_batch(&refs, &mut scratch);
+        // Read something so the call cannot be optimized away, without
+        // allocating: compare against the warm-up output in place.
+        assert!(out
+            .packed()
+            .data()
+            .iter()
+            .zip(&warm)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+    let after = ALLOC_CALLS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state infer_batch hit the global allocator {} time(s)",
+        after - before
+    );
+    assert_eq!(
+        scratch.fresh_allocs(),
+        pool_misses,
+        "scratch pool reported a miss after warm-up"
+    );
+}

@@ -22,6 +22,14 @@
 //! picks the [`DegradationRung`] this request is served at: full
 //! retrieval, cache-only, or no linkage).
 //!
+//! Forward-pass batching: each annotation routes through
+//! [`KgLink::annotate_request`], whose classifier encodes the masked
+//! table and all eligible feature sequences in a single batched encoder
+//! call (`kglink_nn::Encoder::infer_batch`). The encoder's scratch arenas
+//! are thread-local, so each worker warms its own pool on the first
+//! request and then serves its micro-batches without heap allocation in
+//! the forward pass.
+//!
 //! Simulated busy-time accounting: each table charges the worker the
 //! simulated retrieval microseconds it consumed (read off the meter)
 //! plus `sim_col_cost_us` per column for the PLM forward pass. The max

@@ -147,6 +147,55 @@ fn kill_and_resume_is_bit_identical_at_every_sampled_step() {
     }
 }
 
+/// A checkpoint written while every GEMM ran through the scalar reference
+/// path must resume bit-identically on the fast kernel path. This is the
+/// cross-path guarantee the kernel crate's parity policy buys: summation
+/// order per output element is fixed, so the two paths are interchangeable
+/// mid-run — an operator can roll a kernel change forward or back across a
+/// restart without perturbing training.
+#[test]
+fn scalar_path_checkpoint_resumes_bit_identically_on_kernel_path() {
+    let fx = fixture();
+    let res = resources(fx);
+    let config = train_config();
+    // Baseline: uninterrupted run, entirely on the fast kernel path.
+    let (mut baseline, _) =
+        KgLink::fit_with(&res, &fx.dataset, config.clone(), &FitOptions::new()).unwrap();
+    let baseline_state = state_bytes(&mut baseline);
+
+    // Halted run on the scalar reference path. (Both paths are bit-identical
+    // on finite data, so flipping the global mode cannot perturb tests that
+    // happen to run concurrently.)
+    let path = temp_ckpt("scalar-to-kernel");
+    kglink::nn::kernels::set_reference_mode(true);
+    let halted = KgLink::fit_with(
+        &res,
+        &fx.dataset,
+        config.clone(),
+        &FitOptions::new().checkpoint_every(&path, 2).halt_after_step(4),
+    );
+    kglink::nn::kernels::set_reference_mode(false);
+    let (_, halted_report) = halted.unwrap();
+    assert!(halted_report.halted);
+    assert!(path.exists());
+
+    // Resume on the fast kernel path: the checkpoint is path-agnostic.
+    let (mut resumed, resume_report) = KgLink::fit_with(
+        &res,
+        &fx.dataset,
+        config,
+        &FitOptions::new().checkpoint_every(&path, 2).resume_from(&path),
+    )
+    .unwrap();
+    assert!(!resume_report.halted);
+    assert_eq!(
+        state_bytes(&mut resumed),
+        baseline_state,
+        "scalar-path checkpoint diverged when resumed on the kernel path"
+    );
+    std::fs::remove_dir_all(path.parent().unwrap()).ok();
+}
+
 #[test]
 fn resume_from_corrupt_checkpoint_is_a_typed_error() {
     let fx = fixture();

@@ -3,7 +3,7 @@
 use kglink::core::config::RowFilter;
 use kglink::core::filter::prune_and_filter;
 use kglink::core::linking::LinkedTable;
-use kglink::nn::ops::{gelu, gelu_grad, softmax};
+use kglink::nn::kernels::{gelu, gelu_grad, softmax};
 use kglink::nn::{cross_entropy, dmlm_loss, Tensor};
 use kglink::search::{tokenize, Bm25Params, InvertedIndex};
 use kglink::table::{CellValue, EvalSummary, LabelId, Table, TableId};
