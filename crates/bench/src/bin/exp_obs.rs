@@ -13,6 +13,13 @@
 //!    touchpoint of the traced run, must stay under 1% of the untraced
 //!    run's wall time.
 //!
+//! 3. **Lifecycle events nest under serving spans.** A hot swap's shadow
+//!    comparisons run inside the worker's `serve.request` span, so every
+//!    `model.shadow` instant in the service's event log must carry an
+//!    enclosing span id drawn from the `serve.request` span starts — the
+//!    trace of a swap reads as *part of* request handling, not as a
+//!    disconnected side channel.
+//!
 //! The full event log is exported to `results/obs_trace.jsonl` (one JSON
 //! object per line: spans with ids/parents, counters, instants).
 //!
@@ -21,9 +28,13 @@
 
 use kglink_bench::{print_markdown, run_kglink, ExpEnv, Which};
 use kglink_core::req;
-use kglink_obs::{JsonlSink, Tracer};
+use kglink_obs::{EventKind, JsonlSink, Tracer};
+use kglink_search::EntitySearcher;
+use kglink_serve::{AnnotationService, ServiceConfig, SwapPlan};
 use kglink_table::Split;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// The stages that must tile the `annotate` root span, in pipeline order.
 const STAGES: [&str; 5] = ["retrieval", "filter", "feature", "encode", "classify"];
@@ -162,6 +173,98 @@ fn main() {
         );
         std::process::exit(1);
     }
+
+    // Contract 3: model-lifecycle events nest under `serve.request`.
+    // Run a short hot swap (same weights, so every gate passes) against a
+    // traced service under a trickle of live traffic, then check that
+    // each shadow comparison was logged from inside an open request span.
+    let serve_tracer = Tracer::enabled();
+    let model = Arc::new(model);
+    let graph: Arc<dyn kglink_kg::GraphAccess> = Arc::new(env.world.graph.clone());
+    let backend: kglink_serve::SharedBackend =
+        Arc::new(EntitySearcher::build(&env.world.graph));
+    let mut service = AnnotationService::new(
+        Arc::clone(&model),
+        graph,
+        backend,
+        Arc::new(env.tokenizer.clone()),
+        ServiceConfig {
+            workers: 2,
+            max_batch: 2,
+            cache: None,
+            sim_col_cost_us: 0,
+            tracer: serve_tracer.clone(),
+            initial_version: 1,
+            ..ServiceConfig::default()
+        },
+    );
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let (service_ref, stop_ref, tables_ref) = (&service, &stop, &tables);
+        s.spawn(move || {
+            let mut tickets = Vec::new();
+            let mut i = 0usize;
+            while !stop_ref.load(Ordering::Relaxed) {
+                let table = (*tables_ref[i % tables_ref.len()]).clone();
+                tickets.push(service_ref.submit(table).expect("admitted"));
+                i += 1;
+                std::thread::sleep(Duration::from_micros(300));
+            }
+            for t in tickets {
+                t.wait().expect("request completes");
+            }
+        });
+        let plan = SwapPlan {
+            prepare_max_flip_rate: 1.0,
+            shadow_sample_every: 1,
+            shadow_min_requests: 4,
+            shadow_max_flip_rate: 1.0,
+            watch_min_requests: 0,
+            phase_timeout: Duration::from_secs(30),
+            ..SwapPlan::default()
+        };
+        service
+            .swap_model(2, Arc::clone(&model), &plan)
+            .expect("same-weights swap promotes");
+        stop.store(true, Ordering::Relaxed);
+    });
+    service.shutdown();
+    let serve_events = serve_tracer.events();
+    let request_spans: std::collections::HashSet<u64> = serve_events
+        .iter()
+        .filter(|e| e.name == "serve.request" && e.kind == EventKind::SpanStart)
+        .map(|e| e.span)
+        .collect();
+    let shadow_events: Vec<_> = serve_events
+        .iter()
+        .filter(|e| e.name == "model.shadow" && e.kind == EventKind::Instant)
+        .collect();
+    assert!(
+        shadow_events.len() >= 4,
+        "shadow phase compared at least its minimum ({} events)",
+        shadow_events.len()
+    );
+    for e in &shadow_events {
+        assert!(
+            e.span != 0 && request_spans.contains(&e.span),
+            "model.shadow event (seq {}) is not nested under any serve.request span \
+             (span id {})",
+            e.seq,
+            e.span
+        );
+    }
+    assert!(
+        serve_events
+            .iter()
+            .any(|e| e.name == "model.promote" && e.kind == EventKind::Instant),
+        "promotion must log a model.promote instant"
+    );
+    eprintln!(
+        "[obs] {} model.shadow events, every one nested under a serve.request span \
+         ({} request spans; promote event present)",
+        shadow_events.len(),
+        request_spans.len()
+    );
 
     // Export the event log for offline inspection.
     std::fs::create_dir_all("results").expect("create results/");

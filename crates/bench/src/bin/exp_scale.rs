@@ -268,6 +268,29 @@ fn main() {
         bstats.skipped_blocks,
     );
 
+    // Part 4b (ROADMAP item-2 follow-up): the block-max skip path must
+    // actually fire, not just exist. The generator's skewed hub terms put
+    // 16 high-tf hot docs in the first posting block of each `skewhub{f}`
+    // list; once those fill the top-10 heap, every later (all-cold) block's
+    // max is below the threshold and is skipped without being decoded.
+    let blocks_before = bstats.skipped_blocks;
+    for q in &bw.skew_queries {
+        let hits = disk.backend.try_search(q, 10).expect("skew query");
+        assert!(!hits.is_empty(), "skew term {q:?} must retrieve");
+    }
+    let bstats = disk.backend.stats();
+    assert!(
+        bstats.skipped_blocks > blocks_before,
+        "skewed-term queries skipped no posting blocks \
+         (before={blocks_before}, after={}) — block-max skipping went dead",
+        bstats.skipped_blocks
+    );
+    eprintln!(
+        "[scale] part 4b OK: {} skew queries skipped {} whole blocks",
+        bw.skew_queries.len(),
+        bstats.skipped_blocks - blocks_before
+    );
+
     // Part 5: the production serving stack over the disk world. The model
     // is trained on the small benchmark (accuracy is not the point here);
     // the service's graph + retrieval seams both point at the 10M world.

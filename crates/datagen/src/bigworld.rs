@@ -70,6 +70,15 @@ pub struct BigWorldConfig {
     pub seed: u64,
     /// Maximum number of sample mentions collected for query benchmarks.
     pub mention_cap: usize,
+    /// Skewed "hub" term families (0 disables). Each family `f` plants a
+    /// `skewhub{f}` token with a deliberately top-heavy posting list: a
+    /// few high-tf, short-document *hot* carriers at the very start of
+    /// the id space, then a long tail of low-tf, padded *cold* carriers.
+    /// Postings are doc-id ordered, so the hot docs land in the first
+    /// posting block and fill a top-k heap whose threshold no later
+    /// block's max can beat — the workload BM25 block-max skipping
+    /// exists for (see `Bm25Segment`'s `skipped_blocks`).
+    pub skew_terms: u32,
 }
 
 impl Default for BigWorldConfig {
@@ -81,6 +90,7 @@ impl Default for BigWorldConfig {
             core_types: 8,
             seed: 0x01ba_db16_c0de,
             mention_cap: 256,
+            skew_terms: 8,
         }
     }
 }
@@ -93,6 +103,9 @@ pub struct BigWorld {
     /// Entity labels/aliases sampled uniformly over the id space — ready
     /// to use as retrieval queries against the world.
     pub mentions: Vec<String>,
+    /// One single-token query per skew family (`skewhub{f}`); running
+    /// these against the world's BM25 index exercises block-max skipping.
+    pub skew_queries: Vec<String>,
 }
 
 /// splitmix64: a strong, stateless mix of (seed, value).
@@ -164,7 +177,31 @@ pub fn generate_big_world(
             let h = mix(cfg.seed ^ 0xb10c, id);
             let t = (h % u64::from(cfg.types_per_block)) as usize;
             let type_id = EntityId((base + insts + t as u64) as u32);
-            let e = instance_entity(cfg.seed, id);
+            let mut e = instance_entity(cfg.seed, id);
+            // Mentions sample the *organic* surface forms, before any skew
+            // alias is appended, so query benchmarks stay representative.
+            let organic_mention = {
+                let m = e.aliases.first().filter(|_| h & 1 == 0);
+                m.cloned().unwrap_or_else(|| e.label.clone())
+            };
+            // Skew families: the first `16 × skew_terms` ids are hot
+            // carriers (tf 4, short doc); a hashed ~`skew_terms`/97 slice
+            // of the remaining ids are cold carriers (tf 1, padded doc).
+            let hot_total = 16 * u64::from(cfg.skew_terms);
+            if cfg.skew_terms > 0 {
+                if b == 0 && j < hot_total {
+                    let fam = j / 16;
+                    let tok = format!("skewhub{fam}");
+                    e = e.with_alias(format!("{tok} {tok} {tok} {tok}"));
+                } else if id >= hot_total {
+                    let fam = mix(cfg.seed ^ 0x5e3b, id) % 97;
+                    if fam < u64::from(cfg.skew_terms) {
+                        e = e.with_alias(format!(
+                            "skewhub{fam} archive backfill record entry item note"
+                        ));
+                    }
+                }
+            }
             let mut out = vec![Edge {
                 predicate: p31,
                 target: type_id,
@@ -186,9 +223,7 @@ pub fn generate_big_world(
                 target: got,
             });
             if mentions.len() < cfg.mention_cap && id % mention_stride == 0 {
-                // Alternate label and alias mentions where one exists.
-                let m = e.aliases.first().filter(|_| h & 1 == 0);
-                mentions.push(m.cloned().unwrap_or_else(|| e.label.clone()));
+                mentions.push(organic_mention);
             }
         }
         for (t, inc) in type_in.into_iter().enumerate() {
@@ -220,7 +255,14 @@ pub fn generate_big_world(
         w.add_entity(&e, &[], &inc)?;
     }
     let manifest = w.finish()?;
-    Ok(BigWorld { manifest, mentions })
+    let skew_queries = (0..cfg.skew_terms)
+        .map(|f| format!("skewhub{f}"))
+        .collect();
+    Ok(BigWorld {
+        manifest,
+        mentions,
+        skew_queries,
+    })
 }
 
 /// Predicate id of [`RELATED_TO`] in a generated world (interned third,
@@ -277,6 +319,11 @@ mod tests {
         // Sampled mentions actually retrieve entities.
         let hits = world.backend.try_search(&bw.mentions[0], 3).unwrap();
         assert!(!hits.is_empty(), "mention {:?} found nothing", bw.mentions[0]);
+        // Skew hub terms retrieve, and the top hit is a hot carrier from
+        // the front of the id space (tf 4 beats the padded cold tail).
+        let hits = world.backend.try_search(&bw.skew_queries[0], 3).unwrap();
+        assert!(!hits.is_empty(), "skew term found nothing");
+        assert!(hits[0].0 .0 < 128, "top skew hit {:?} is not a hot carrier", hits[0].0);
         assert_eq!(world.graph.error_count(), 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -288,6 +335,7 @@ mod tests {
         let b = generate_big_world(&d2, &small_cfg(), WorldWriterConfig::default()).unwrap();
         assert_eq!(a.manifest, b.manifest);
         assert_eq!(a.mentions, b.mentions);
+        assert_eq!(a.skew_queries, b.skew_queries);
         std::fs::remove_dir_all(&d1).unwrap();
         std::fs::remove_dir_all(&d2).unwrap();
     }

@@ -9,6 +9,7 @@
 mod checkpoint_atomicity;
 mod hot_path_alloc;
 mod lock_order;
+mod model_publish_atomicity;
 mod nondeterminism;
 mod panic_in_lib;
 mod segment_atomicity;
@@ -19,6 +20,7 @@ mod unsafe_safety;
 pub use checkpoint_atomicity::CheckpointAtomicity;
 pub use hot_path_alloc::HotPathAlloc;
 pub use lock_order::LockOrder;
+pub use model_publish_atomicity::ModelPublishAtomicity;
 pub use nondeterminism::Nondeterminism;
 pub use panic_in_lib::PanicInLib;
 pub use segment_atomicity::SegmentAtomicity;
@@ -46,6 +48,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(Nondeterminism),
         Box::new(CheckpointAtomicity),
         Box::new(SegmentAtomicity),
+        Box::new(ModelPublishAtomicity),
         Box::new(SinglePercentile),
         Box::new(LockOrder::default()),
         Box::new(UnboundedChannel),

@@ -1,0 +1,173 @@
+//! `model-publish-atomicity`: published model versions are immutable and
+//! reach disk only through the registry's atomic publisher.
+//!
+//! The zero-downtime lifecycle (DESIGN.md §15) rests on two write-side
+//! invariants:
+//!
+//! 1. **Registry artifacts are committed, never edited.** A version
+//!    directory becomes visible when its manifest lands via the
+//!    temp→fsync→rename path; any other `fs::write(...)` /
+//!    `File::create(...)` aimed at registry artifacts (statements
+//!    mentioning `kgmf`, `manifest`, or `registry`) can tear a version
+//!    that a concurrent load or a crash will then half-see. The one
+//!    sanctioned writer is `kglink_registry::publish::write_artifact`,
+//!    whose create statement deliberately carries none of these markers.
+//! 2. **Live epochs are immutable.** Serving code must never reach into a
+//!    published [`ModelEpoch`] and mutate weights in place
+//!    (`Arc::get_mut` / `Arc::make_mut` on an epoch or its model): a
+//!    worker mid-batch would observe a torn model, which is exactly what
+//!    the epoch handle exists to prevent. The only way weights change is
+//!    a whole new epoch through `swap_model`.
+//!
+//! Tests forge torn artifacts on purpose and are exempt by scope; the
+//! epoch-mutation arm applies to `crates/serve/` library code only.
+
+use super::{stmt_range, Rule};
+use crate::diag::Finding;
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+
+pub struct ModelPublishAtomicity;
+
+const REGISTRY_MARKERS: &[&str] = &["kgmf", "manifest", "registry"];
+const EPOCH_MARKERS: &[&str] = &["epoch", "modelepoch"];
+
+fn mentions(text: &str, markers: &[&str]) -> bool {
+    let lower = text.to_ascii_lowercase();
+    markers.iter().any(|m| lower.contains(m))
+}
+
+impl Rule for ModelPublishAtomicity {
+    fn id(&self) -> &'static str {
+        "model-publish-atomicity"
+    }
+
+    fn describe(&self) -> &'static str {
+        "model versions are published atomically and live epochs are never mutated in place"
+    }
+
+    fn check_file(&mut self, f: &SourceFile, out: &mut Vec<Finding>) {
+        // Product code only: lib and binaries. Tests forge torn registries.
+        if !matches!(
+            f.scope,
+            crate::source::Scope::Lib | crate::source::Scope::Bin
+        ) {
+            return;
+        }
+        let in_serve_lib =
+            f.scope == crate::source::Scope::Lib && f.path.contains("crates/serve/");
+        for i in 0..f.code.len() {
+            if f.code_kind(i) != Some(TokKind::Ident) || f.code_in_test(i) {
+                continue;
+            }
+            let t = f.code_text(i);
+            // Arm 1: raw filesystem writes of registry artifacts.
+            let is_write = t == "fs"
+                && f.code_text(i + 1) == ":"
+                && f.code_text(i + 2) == ":"
+                && f.code_text(i + 3) == "write";
+            let is_create = t == "File"
+                && f.code_text(i + 1) == ":"
+                && f.code_text(i + 2) == ":"
+                && matches!(f.code_text(i + 3), "create" | "create_new");
+            if is_write || is_create {
+                let (s, e) = stmt_range(f, i);
+                let registryish = (s..e).any(|j| {
+                    matches!(
+                        f.code_kind(j),
+                        Some(TokKind::Ident | TokKind::Str | TokKind::RawStr)
+                    ) && mentions(f.code_text(j), REGISTRY_MARKERS)
+                });
+                if registryish {
+                    let call = if is_write { "fs::write" } else { "File::create" };
+                    out.push(Finding::new(
+                        self.id(),
+                        &f.path,
+                        f.code_line(i),
+                        format!(
+                            "`{call}` of registry artifacts outside the atomic publisher: \
+                             a crash mid-write tears a version a load may half-see; go \
+                             through kglink_registry::ModelRegistry::publish"
+                        ),
+                    ));
+                }
+                continue;
+            }
+            // Arm 2: in-place mutation of a live epoch in serving code.
+            if in_serve_lib
+                && t == "Arc"
+                && f.code_text(i + 1) == ":"
+                && f.code_text(i + 2) == ":"
+                && matches!(f.code_text(i + 3), "get_mut" | "make_mut")
+            {
+                let (s, e) = stmt_range(f, i);
+                let epochy = (s..e).any(|j| {
+                    f.code_kind(j) == Some(TokKind::Ident)
+                        && mentions(f.code_text(j), EPOCH_MARKERS)
+                });
+                if epochy {
+                    out.push(Finding::new(
+                        self.id(),
+                        &f.path,
+                        f.code_line(i),
+                        format!(
+                            "`Arc::{}` on a live ModelEpoch: published epochs are \
+                             immutable — a worker mid-batch would observe a torn model; \
+                             install a new epoch via swap_model instead",
+                            f.code_text(i + 3)
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<u32> {
+        let f = SourceFile::new(path.into(), src.into());
+        let mut out = Vec::new();
+        ModelPublishAtomicity.check_file(&f, &mut out);
+        out.into_iter().map(|x| x.line).collect()
+    }
+
+    #[test]
+    fn flags_raw_registry_writes() {
+        let src = "\
+fn publish(registry_dir: &Path, bytes: &[u8]) {
+    fs::write(registry_dir.join(\"manifest.kgmf\"), bytes);
+    let f = File::create(\"versions/v000001/manifest.kgmf\");
+    std::fs::write(\"results/metrics.json\", bytes);
+}
+";
+        assert_eq!(run("crates/registry/src/bad.rs", src), vec![2, 3]);
+    }
+
+    #[test]
+    fn flags_in_place_epoch_mutation_in_serve_lib() {
+        let src = "\
+fn hot_patch(epoch: &mut Arc<ModelEpoch>) {
+    let m = Arc::get_mut(epoch).unwrap();
+    let n = Arc::make_mut(&mut current_epoch);
+}
+";
+        assert_eq!(run("crates/serve/src/worker.rs", src), vec![2, 3]);
+        // Same code outside the serve crate's lib paths is not this rule's
+        // business (the registry never holds an epoch).
+        assert!(run("crates/core/src/pipeline.rs", src).is_empty());
+    }
+
+    #[test]
+    fn sanctioned_publisher_and_tests_are_exempt() {
+        // The atomic publisher's create statement carries no markers.
+        let clean = "fn w(dir: &Path, name: &str) { let f = File::create(&tmp)?; }\n";
+        assert!(run("crates/registry/src/publish.rs", clean).is_empty());
+        let forged = "fn t() { fs::write(\"manifest.kgmf\", b\"junk\"); }\n";
+        assert!(run("crates/registry/tests/corruption.rs", forged).is_empty());
+        let unmetered = "fn f(x: &mut Arc<Vec<u8>>) { Arc::get_mut(x); }\n";
+        assert!(run("crates/serve/src/worker.rs", unmetered).is_empty());
+    }
+}

@@ -1,0 +1,294 @@
+//! Hand-rolled binary codec for the model metadata blob.
+//!
+//! The vendored `serde` stub is derive-markers only (nothing serializes
+//! through it), so the registry encodes the [`KgLinkConfig`], the label
+//! vocabulary, and the tokenizer vocab size explicitly. The blob rides in
+//! the `extra` field of the PR-4 [`kglink_nn::TrainCheckpoint`], so it
+//! inherits the outer KGCK CRC; its own magic + version only guard against
+//! the *meaning* of the fields drifting between code generations.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! "KGMX" | u16 codec version (=1) | u32 vocab_size | config fields (fixed
+//! order, see `encode`) | u32 n_labels | n_labels × (u32 len | utf-8 name)
+//! ```
+
+use kglink_core::config::{EncoderSize, KgLinkConfig, RowFilter};
+use kglink_nn::AdamWConfig;
+use kglink_table::LabelVocab;
+
+const MAGIC: &[u8; 4] = b"KGMX";
+const CODEC_VERSION: u16 = 1;
+
+/// Encode the pieces needed to rebuild a `KgLink` around a weights blob.
+pub(crate) fn encode_model_meta(
+    config: &KgLinkConfig,
+    labels: &LabelVocab,
+    vocab_size: usize,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(256);
+    out.extend_from_slice(MAGIC);
+    put_u16(&mut out, CODEC_VERSION);
+    put_u64(&mut out, vocab_size as u64);
+
+    put_u64(&mut out, config.max_entities_per_mention as u64);
+    put_u64(&mut out, config.max_candidate_types as u64);
+    put_u64(&mut out, config.top_k_rows as u64);
+    out.push(match config.row_filter {
+        RowFilter::LinkScore => 0,
+        RowFilter::Original => 1,
+    });
+    put_u64(&mut out, config.max_columns as u64);
+    put_u64(&mut out, config.retrieval_deadline_us);
+    put_u64(&mut out, config.tokens_per_column as u64);
+    put_u64(&mut out, config.feature_seq_tokens as u64);
+    out.push(match config.encoder {
+        EncoderSize::Mini => 0,
+        EncoderSize::Large => 1,
+    });
+    put_f32(&mut out, config.temperature);
+    put_f32(&mut out, config.dropout);
+    out.push(config.use_mask_task as u8);
+    out.push(config.use_candidate_types as u8);
+    out.push(config.use_feature_vector as u8);
+    put_u64(&mut out, config.epochs as u64);
+    put_u64(&mut out, config.batch_size as u64);
+    put_u64(&mut out, config.patience as u64);
+    put_f32(&mut out, config.optimizer.lr);
+    put_f32(&mut out, config.optimizer.beta1);
+    put_f32(&mut out, config.optimizer.beta2);
+    put_f32(&mut out, config.optimizer.eps);
+    put_f32(&mut out, config.optimizer.weight_decay);
+    put_f32(&mut out, config.optimizer.clip_norm);
+    match config.fixed_log_sigmas {
+        None => out.push(0),
+        Some((a, b)) => {
+            out.push(1);
+            put_f32(&mut out, a);
+            put_f32(&mut out, b);
+        }
+    }
+    put_u64(&mut out, config.seed);
+
+    put_u32(&mut out, labels.len() as u32);
+    for (_, name) in labels.iter() {
+        put_u32(&mut out, name.len() as u32);
+        out.extend_from_slice(name.as_bytes());
+    }
+    out
+}
+
+/// Decode [`encode_model_meta`] output. Errors are human-readable details;
+/// the caller wraps them in a typed `RegistryError::Malformed`.
+pub(crate) fn decode_model_meta(
+    buf: &[u8],
+) -> Result<(KgLinkConfig, LabelVocab, usize), String> {
+    let mut r = Reader { buf, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err("model-meta blob has a bad magic number".into());
+    }
+    let ver = r.u16()?;
+    if ver != CODEC_VERSION {
+        return Err(format!(
+            "model-meta codec version {ver}, expected {CODEC_VERSION}"
+        ));
+    }
+    let vocab_size = r.u64()? as usize;
+
+    let max_entities_per_mention = r.u64()? as usize;
+    let max_candidate_types = r.u64()? as usize;
+    let top_k_rows = r.u64()? as usize;
+    let row_filter = match r.u8()? {
+        0 => RowFilter::LinkScore,
+        1 => RowFilter::Original,
+        n => return Err(format!("unknown row filter tag {n}")),
+    };
+    let max_columns = r.u64()? as usize;
+    let retrieval_deadline_us = r.u64()?;
+    let tokens_per_column = r.u64()? as usize;
+    let feature_seq_tokens = r.u64()? as usize;
+    let encoder = match r.u8()? {
+        0 => EncoderSize::Mini,
+        1 => EncoderSize::Large,
+        n => return Err(format!("unknown encoder size tag {n}")),
+    };
+    let temperature = r.f32()?;
+    let dropout = r.f32()?;
+    let use_mask_task = r.u8()? != 0;
+    let use_candidate_types = r.u8()? != 0;
+    let use_feature_vector = r.u8()? != 0;
+    let epochs = r.u64()? as usize;
+    let batch_size = r.u64()? as usize;
+    let patience = r.u64()? as usize;
+    let optimizer = AdamWConfig {
+        lr: r.f32()?,
+        beta1: r.f32()?,
+        beta2: r.f32()?,
+        eps: r.f32()?,
+        weight_decay: r.f32()?,
+        clip_norm: r.f32()?,
+    };
+    let fixed_log_sigmas = match r.u8()? {
+        0 => None,
+        1 => Some((r.f32()?, r.f32()?)),
+        n => return Err(format!("unknown fixed-sigma tag {n}")),
+    };
+    let seed = r.u64()?;
+
+    let n_labels = r.u32()? as usize;
+    let mut labels = LabelVocab::new();
+    for i in 0..n_labels {
+        let len = r.u32()? as usize;
+        let raw = r.take(len)?;
+        let name = std::str::from_utf8(raw)
+            .map_err(|_| format!("label {i} is not valid UTF-8"))?;
+        labels.intern(name);
+    }
+    if labels.len() != n_labels {
+        return Err(format!(
+            "label vocabulary collapsed on decode: {n_labels} recorded, {} distinct",
+            labels.len()
+        ));
+    }
+    if r.pos != buf.len() {
+        return Err(format!(
+            "{} trailing byte(s) after model metadata",
+            buf.len() - r.pos
+        ));
+    }
+
+    let config = KgLinkConfig {
+        max_entities_per_mention,
+        max_candidate_types,
+        top_k_rows,
+        row_filter,
+        max_columns,
+        retrieval_deadline_us,
+        tokens_per_column,
+        feature_seq_tokens,
+        encoder,
+        temperature,
+        dropout,
+        use_mask_task,
+        use_candidate_types,
+        use_feature_vector,
+        epochs,
+        batch_size,
+        patience,
+        optimizer,
+        fixed_log_sigmas,
+        seed,
+    };
+    Ok((config, labels, vocab_size))
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_f32(out: &mut Vec<u8>, v: f32) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Bounds-checked little-endian reader over a borrowed slice.
+pub(crate) struct Reader<'a> {
+    pub(crate) buf: &'a [u8],
+    pub(crate) pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.buf.len() - self.pos < n {
+            return Err(format!(
+                "input is short: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, String> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+    pub(crate) fn u32(&mut self) -> Result<u32, String> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    pub(crate) fn u64(&mut self) -> Result<u64, String> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+    fn f32(&mut self) -> Result<f32, String> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_meta_round_trips_bit_exactly() {
+        let mut labels = LabelVocab::new();
+        for name in ["person", "place", "work of art"] {
+            labels.intern(name);
+        }
+        let config = KgLinkConfig {
+            retrieval_deadline_us: 12_345,
+            fixed_log_sigmas: Some((-0.25, 0.5)),
+            seed: 0xdead_beef,
+            ..KgLinkConfig::fast_test()
+        };
+        let blob = encode_model_meta(&config, &labels, 6000);
+        let (c2, l2, vocab) = decode_model_meta(&blob).expect("round trip");
+        assert_eq!(vocab, 6000);
+        assert_eq!(l2.len(), labels.len());
+        for (id, name) in labels.iter() {
+            assert_eq!(l2.name(id), name);
+        }
+        // `KgLinkConfig` has no `PartialEq`; bit-exact re-encoding is the
+        // stronger statement anyway.
+        assert_eq!(encode_model_meta(&c2, &l2, vocab), blob);
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let mut labels = LabelVocab::new();
+        labels.intern("only");
+        let blob = encode_model_meta(&KgLinkConfig::fast_test(), &labels, 64);
+        for cut in 0..blob.len() {
+            assert!(
+                decode_model_meta(&blob[..cut]).is_err(),
+                "prefix of {cut} bytes decoded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut labels = LabelVocab::new();
+        labels.intern("only");
+        let mut blob = encode_model_meta(&KgLinkConfig::fast_test(), &labels, 64);
+        blob.push(0);
+        assert!(decode_model_meta(&blob).is_err());
+    }
+}

@@ -1,0 +1,31 @@
+//! # kglink-registry — versioned model registry with atomic publishes
+//!
+//! The zero-downtime model lifecycle (DESIGN.md §15) starts here: trained
+//! [`KgLink`](kglink_core::pipeline::KgLink) models are *published* into
+//! CRC'd, atomically committed version directories, and the serving layer
+//! *loads* fully validated versions to hot-swap between. The invariants:
+//!
+//! - **Manifest-last commit point.** A version's weights are written (via
+//!   the same temp-file → fsync → rename protocol as `kglink_store`)
+//!   before the manifest that vouches for them; a crash anywhere leaves
+//!   either a committed version or an invisible, id-burning husk.
+//! - **Typed corruption, no panics.** Truncated manifests, bit-flipped
+//!   weights, transplanted manifests, and foreign format generations all
+//!   surface as distinct [`RegistryError`] variants.
+//! - **Quarantine over deletion.** [`ModelRegistry::load_or_quarantine`]
+//!   moves damaged versions into `quarantine/` so evidence survives and
+//!   retry loops stop re-tripping.
+//! - **No NaN ever reaches serving.** Loads scan every parameter and
+//!   reject non-finite weights before the model is handed out.
+
+#![deny(deprecated)]
+
+mod codec;
+mod error;
+mod publish;
+mod registry;
+
+pub use error::{Artifact, RegistryError};
+pub use registry::{
+    count_non_finite, LoadedModel, ModelRegistry, PublishedModel, FORMAT_VERSION,
+};

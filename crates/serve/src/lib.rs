@@ -44,6 +44,7 @@
 pub mod admission;
 pub mod brownout;
 pub mod error;
+pub mod lifecycle;
 pub mod metered;
 pub mod metrics;
 pub mod queue;
@@ -53,6 +54,7 @@ mod worker;
 pub use admission::{AimdConfig, AimdLimit, AimdVerdict};
 pub use brownout::{BrownoutConfig, BrownoutController, CacheOnlyBackend};
 pub use error::ServiceError;
+pub use lifecycle::{ModelEpoch, SwapError, SwapPhase, SwapPlan, SwapReport, VersionStats};
 pub use metered::{ExpiredBackend, MeteredBackend};
 pub use metrics::ServiceMetrics;
 pub use queue::{AdmissionPolicy, BoundedQueue, PushError};

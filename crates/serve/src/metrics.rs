@@ -78,6 +78,12 @@ pub struct ServiceMetrics {
     pub retrieval: MetricsSnapshot,
     /// Cache counters, if the retrieval cache is enabled.
     pub cache: Option<CacheStats>,
+    /// Version id of the epoch currently serving traffic.
+    pub model_version: u64,
+    /// Completed hot-swaps (promotions), including ones later rolled back.
+    pub swaps: u64,
+    /// Automatic rollbacks the watch-phase divergence guard performed.
+    pub rollbacks: u64,
 }
 
 impl ServiceMetrics {
@@ -145,6 +151,11 @@ impl fmt::Display for ServiceMetrics {
             f,
             "supervision: panics={} restarts={} workers_alive={}",
             self.worker_panics, self.worker_restarts, self.workers_alive
+        )?;
+        writeln!(
+            f,
+            "model: version={} swaps={} rollbacks={}",
+            self.model_version, self.swaps, self.rollbacks
         )?;
         writeln!(
             f,

@@ -25,21 +25,26 @@
 use crate::admission::{AimdConfig, AimdLimit};
 use crate::brownout::{self, BrownoutConfig, BrownoutController};
 use crate::error::ServiceError;
+use crate::lifecycle::{
+    Lifecycle, ModelEpoch, ShadowState, SwapError, SwapPhase, SwapPlan, SwapReport, VersionStats,
+};
 use crate::metered::MeteredBackend;
 use crate::metrics::ServiceMetrics;
 use crate::queue::{AdmissionPolicy, BoundedQueue, PushError};
 use crate::worker::{self, WorkerContext, WorkerExit};
+use kglink_core::pipeline::req;
 use kglink_core::{DegradationRung, KgLink};
 use kglink_kg::GraphAccess;
 use kglink_nn::Tokenizer;
 use kglink_obs::{Histogram, Tracer};
 use kglink_search::{CacheConfig, CachingBackend, Deadline, KgBackend, MetricsSnapshot};
 use kglink_table::{LabelId, Table};
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The retrieval stack handed to the service: any [`KgBackend`] decorator
 /// chain behind an `Arc` ([`KgBackend`] is `Send + Sync` by contract).
@@ -100,6 +105,15 @@ pub struct ServiceConfig {
     /// Overload protection (adaptive admission + degradation ladder);
     /// `None` keeps the static queue behavior.
     pub overload: Option<OverloadConfig>,
+    /// Version id reported for the model the service starts with
+    /// (typically its registry version; `0` = unversioned baseline).
+    pub initial_version: u64,
+    /// Automatic rollbacks the lifecycle may perform over the service's
+    /// lifetime. Like `restart_budget`, it fails closed: once spent,
+    /// [`AnnotationService::swap_model`] refuses further candidates with
+    /// [`SwapError::RollbackBudgetExhausted`] and the last-known-good
+    /// epoch keeps serving.
+    pub rollback_budget: usize,
 }
 
 impl Default for ServiceConfig {
@@ -117,6 +131,8 @@ impl Default for ServiceConfig {
             restart_budget: 3,
             tracer: Tracer::disabled(),
             overload: None,
+            initial_version: 0,
+            rollback_budget: 3,
         }
     }
 }
@@ -138,6 +154,10 @@ pub struct Annotation {
     /// The degradation-ladder rung this request was served at. Expired
     /// requests always report [`DegradationRung::NoLinkage`].
     pub rung: DegradationRung,
+    /// Version of the [`ModelEpoch`] that served this request end-to-end.
+    /// Replaying the same table single-threaded against that version's
+    /// model yields bit-identical labels.
+    pub model_version: u64,
 }
 
 /// Handle for one submitted request; redeem it with [`Ticket::wait`].
@@ -163,6 +183,8 @@ impl Ticket {
 
 /// A queued unit of work (crate-internal; callers only see [`Ticket`]s).
 pub(crate) struct Request {
+    /// Ticket id; also the deterministic shadow-sampling key.
+    pub id: u64,
     pub table: Table,
     pub deadline: Deadline,
     pub enqueued: Instant,
@@ -232,7 +254,10 @@ impl Shared {
 /// The supervisor keeps one of these so a respawned worker is
 /// indistinguishable from the original (same shared state, same meter).
 struct Pool {
-    model: Arc<KgLink>,
+    lifecycle: Arc<Lifecycle>,
+    /// The shared (cached) retrieval stack without any worker's meter;
+    /// shadow duplicates annotate through this.
+    backend: SharedBackend,
     graph: Arc<dyn GraphAccess>,
     tokenizer: Arc<Tokenizer>,
     queue: Arc<BoundedQueue<Request>>,
@@ -252,7 +277,8 @@ impl Pool {
     ) -> JoinHandle<()> {
         let ctx = WorkerContext {
             idx,
-            model: Arc::clone(&self.model),
+            lifecycle: Arc::clone(&self.lifecycle),
+            backend: Arc::clone(&self.backend),
             graph: Arc::clone(&self.graph),
             tokenizer: Arc::clone(&self.tokenizer),
             meter,
@@ -350,11 +376,18 @@ pub struct AnnotationService {
     admission: AdmissionPolicy,
     default_deadline: Deadline,
     restart_budget: usize,
+    rollback_budget: usize,
     tracer: Tracer,
     next_id: AtomicU64,
     started: Instant,
     supervisor: Option<JoinHandle<()>>,
     closed: bool,
+    lifecycle: Arc<Lifecycle>,
+    // Retained for swap-time probe runs: the same graph/tokenizer/backend
+    // stack the workers annotate through.
+    graph: Arc<dyn GraphAccess>,
+    tokenizer: Arc<Tokenizer>,
+    probe_backend: SharedBackend,
 }
 
 impl AnnotationService {
@@ -393,10 +426,15 @@ impl AnnotationService {
         let meters: Vec<Arc<MeteredBackend>> = (0..config.workers)
             .map(|_| Arc::new(MeteredBackend::new(effective.clone())))
             .collect();
+        let lifecycle = Arc::new(Lifecycle::new(
+            ModelEpoch::new(config.initial_version, model),
+            config.rollback_budget,
+        ));
         let pool = Pool {
-            model,
-            graph,
-            tokenizer,
+            lifecycle: Arc::clone(&lifecycle),
+            backend: effective.clone(),
+            graph: Arc::clone(&graph),
+            tokenizer: Arc::clone(&tokenizer),
             queue: Arc::clone(&queue),
             shared: Arc::clone(&shared),
             cache: cache.clone(),
@@ -439,6 +477,7 @@ impl AnnotationService {
             admission: config.admission,
             default_deadline: config.default_deadline,
             restart_budget: config.restart_budget,
+            rollback_budget: config.rollback_budget,
             tracer: config.tracer,
             next_id: AtomicU64::new(0),
             // kglink-lint: allow(nondeterminism) — wall-clock uptime for
@@ -446,6 +485,10 @@ impl AnnotationService {
             started: Instant::now(),
             supervisor,
             closed: false,
+            lifecycle,
+            graph,
+            tokenizer,
+            probe_backend: effective,
         }
     }
 
@@ -475,6 +518,7 @@ impl AnnotationService {
         // at most one item by construction.
         let (tx, rx) = mpsc::channel();
         let request = Request {
+            id,
             table,
             deadline,
             // kglink-lint: allow(nondeterminism) — queue-wait timestamp:
@@ -565,6 +609,314 @@ impl AnnotationService {
             uptime_us: self.started.elapsed().as_micros() as u64,
             retrieval,
             cache: self.cache.as_ref().map(|c| c.stats()),
+            model_version: self.lifecycle.current().version,
+            swaps: self.lifecycle.swaps.load(Ordering::Relaxed),
+            rollbacks: self.lifecycle.rollbacks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Per-version serving statistics (request counts and latency
+    /// histograms keyed by the epoch version that served them).
+    pub fn version_stats(&self) -> BTreeMap<u64, VersionStats> {
+        self.lifecycle.version_stats()
+    }
+
+    /// The version id of the epoch currently serving traffic.
+    pub fn model_version(&self) -> u64 {
+        self.lifecycle.current().version
+    }
+
+    /// Hot-swap the serving model through the prepare → shadow → promote
+    /// → watch state machine (see [`crate::lifecycle`] and DESIGN.md §15).
+    ///
+    /// Blocks the calling thread through every phase; live traffic is
+    /// never paused. On [`SwapError::Rejected`] the serving epoch was
+    /// never touched; on [`SwapError::RolledBack`] the prior epoch has
+    /// already been reinstalled. Once the rollback budget is spent the
+    /// lifecycle fails closed: every further call returns
+    /// [`SwapError::RollbackBudgetExhausted`] without touching the model.
+    pub fn swap_model(
+        &self,
+        version: u64,
+        candidate: Arc<KgLink>,
+        plan: &SwapPlan,
+    ) -> Result<SwapReport, SwapError> {
+        if self.shared.failed.load(Ordering::SeqCst) || self.queue.is_closed() {
+            return Err(SwapError::ServiceUnavailable);
+        }
+        if self.lifecycle.exhausted.load(Ordering::SeqCst)
+            || self.lifecycle.rollback_budget_left.load(Ordering::SeqCst) == 0
+        {
+            self.lifecycle.exhausted.store(true, Ordering::SeqCst);
+            return Err(SwapError::RollbackBudgetExhausted {
+                budget: self.rollback_budget,
+            });
+        }
+        if self
+            .lifecycle
+            .swap_in_progress
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return Err(SwapError::SwapInProgress);
+        }
+        let _guard = SwapGuard {
+            lifecycle: &self.lifecycle,
+        };
+        self.swap_inner(version, candidate, plan)
+    }
+
+    fn swap_inner(
+        &self,
+        version: u64,
+        candidate: Arc<KgLink>,
+        plan: &SwapPlan,
+    ) -> Result<SwapReport, SwapError> {
+        let active = self.lifecycle.current();
+        let mut report = SwapReport {
+            from_version: active.version,
+            to_version: version,
+            ..SwapReport::default()
+        };
+
+        // ---- prepare: self-check before the candidate sees traffic ----
+        let reject = |phase: SwapPhase, reason: String| {
+            self.tracer.incr("model.reject", 1);
+            self.tracer.event_with(
+                "model.reject",
+                vec![
+                    ("candidate", version.to_string()),
+                    ("phase", phase.to_string()),
+                    ("reason", reason.clone()),
+                ],
+            );
+            Err(SwapError::Rejected { phase, reason })
+        };
+        let base_labels = &active.model.labels;
+        if candidate.labels.len() != base_labels.len()
+            || base_labels
+                .iter()
+                .any(|(id, name)| candidate.labels.name(id) != name)
+        {
+            return reject(
+                SwapPhase::Prepare,
+                format!(
+                    "label space differs: candidate has {} labels, active has {}",
+                    candidate.labels.len(),
+                    base_labels.len()
+                ),
+            );
+        }
+        for table in &plan.probe_tables {
+            let base = match self.probe_labels(&active.model, table) {
+                Ok(l) => l,
+                Err(()) => {
+                    return reject(
+                        SwapPhase::Prepare,
+                        "active model panicked on a probe table".into(),
+                    )
+                }
+            };
+            let cand = match self.probe_labels(&candidate, table) {
+                Ok(l) => l,
+                Err(()) => {
+                    return reject(
+                        SwapPhase::Prepare,
+                        "candidate panicked on a probe table".into(),
+                    )
+                }
+            };
+            if base.len() != cand.len() {
+                return reject(
+                    SwapPhase::Prepare,
+                    format!(
+                        "candidate arity {} != active arity {} on a probe table",
+                        cand.len(),
+                        base.len()
+                    ),
+                );
+            }
+            report.probe_columns += base.len() as u64;
+            report.probe_flipped_columns +=
+                base.iter().zip(&cand).filter(|(a, b)| a != b).count() as u64;
+        }
+        if report.probe_columns > 0 {
+            let rate = report.probe_flipped_columns as f64 / report.probe_columns as f64;
+            if rate > plan.prepare_max_flip_rate {
+                return reject(
+                    SwapPhase::Prepare,
+                    format!(
+                        "probe flip rate {rate:.3} exceeds gate {:.3} \
+                         ({} of {} columns)",
+                        plan.prepare_max_flip_rate,
+                        report.probe_flipped_columns,
+                        report.probe_columns
+                    ),
+                );
+            }
+        }
+        self.tracer.event_with(
+            "model.prepare",
+            vec![
+                ("candidate", version.to_string()),
+                ("probe_columns", report.probe_columns.to_string()),
+                ("probe_flipped", report.probe_flipped_columns.to_string()),
+            ],
+        );
+
+        let cand_epoch = Arc::new(ModelEpoch::new(version, candidate));
+
+        // ---- shadow: duplicated live traffic, no user-visible output ----
+        if plan.shadow_min_requests > 0 {
+            let st = Arc::new(ShadowState::new(
+                Arc::clone(&cand_epoch),
+                plan.shadow_sample_every,
+            ));
+            self.lifecycle.set_shadow(Some(Arc::clone(&st)));
+            self.await_comparisons(&st, plan.shadow_min_requests, plan.phase_timeout);
+            self.lifecycle.set_shadow(None);
+            report.shadow_compared = st.compared.load(Ordering::SeqCst);
+            report.shadow_flips = st.flips.load(Ordering::SeqCst);
+            report.shadow_p99_us = st.shadow_p99();
+            report.shadow_baseline_p99_us = st.primary_p99();
+            self.tracer.event_with(
+                "model.shadow_verdict",
+                vec![
+                    ("candidate", version.to_string()),
+                    ("compared", report.shadow_compared.to_string()),
+                    ("flips", report.shadow_flips.to_string()),
+                ],
+            );
+            if report.shadow_compared < plan.shadow_min_requests {
+                return reject(
+                    SwapPhase::Shadow,
+                    format!(
+                        "shadow starved: {} of {} required comparisons before timeout",
+                        report.shadow_compared, plan.shadow_min_requests
+                    ),
+                );
+            }
+            let rate = st.flip_rate();
+            if rate > plan.shadow_max_flip_rate {
+                return reject(
+                    SwapPhase::Shadow,
+                    format!(
+                        "shadow label-flip rate {rate:.3} exceeds gate {:.3} \
+                         ({} of {} requests)",
+                        plan.shadow_max_flip_rate,
+                        report.shadow_flips,
+                        report.shadow_compared
+                    ),
+                );
+            }
+        }
+
+        // ---- promote: atomic epoch bump between micro-batches ----
+        // kglink-lint: allow(nondeterminism) — measures how long the epoch
+        // bump itself takes for the swap report; no annotation reads it.
+        let t_promote = Instant::now();
+        let prior = self.lifecycle.install(Arc::clone(&cand_epoch));
+        report.promote_us = t_promote.elapsed().as_micros() as u64;
+        self.lifecycle.swaps.fetch_add(1, Ordering::SeqCst);
+        self.tracer.incr("model.promote", 1);
+        self.tracer.event_with(
+            "model.promote",
+            vec![
+                ("from", prior.version.to_string()),
+                ("to", version.to_string()),
+                ("promote_us", report.promote_us.to_string()),
+            ],
+        );
+
+        // ---- watch: divergence guard with automatic rollback ----
+        if plan.watch_min_requests > 0 {
+            let st = Arc::new(ShadowState::new(
+                Arc::clone(&prior),
+                plan.watch_sample_every,
+            ));
+            self.lifecycle.set_shadow(Some(Arc::clone(&st)));
+            self.await_comparisons(&st, plan.watch_min_requests, plan.phase_timeout);
+            self.lifecycle.set_shadow(None);
+            report.watch_compared = st.compared.load(Ordering::SeqCst);
+            report.watch_flips = st.flips.load(Ordering::SeqCst);
+            let flip_rate = st.flip_rate();
+            // During watch the *primary* is the freshly promoted candidate,
+            // so its live annotate p99 is compared against the prior
+            // epoch's p99 from the shadow window.
+            let live_p99 = st.primary_p99();
+            let baseline_p99 = report.shadow_baseline_p99_us;
+            let mut trip: Option<String> = None;
+            if report.watch_compared > 0 && flip_rate > plan.watch_max_flip_rate {
+                trip = Some(format!(
+                    "watch label-flip rate {flip_rate:.3} exceeds gate {:.3} \
+                     ({} of {} requests)",
+                    plan.watch_max_flip_rate, report.watch_flips, report.watch_compared
+                ));
+            } else if plan.watch_max_p99_inflation > 0.0
+                && baseline_p99 > 0
+                && live_p99 as f64 > baseline_p99 as f64 * plan.watch_max_p99_inflation
+            {
+                trip = Some(format!(
+                    "p99 inflation: live {live_p99}us exceeds {:.1}x \
+                     pre-swap baseline {baseline_p99}us",
+                    plan.watch_max_p99_inflation
+                ));
+            }
+            if let Some(reason) = trip {
+                self.lifecycle.install(prior);
+                self.lifecycle.rollbacks.fetch_add(1, Ordering::SeqCst);
+                let left = self
+                    .lifecycle
+                    .rollback_budget_left
+                    .fetch_sub(1, Ordering::SeqCst)
+                    .saturating_sub(1);
+                if left == 0 {
+                    self.lifecycle.exhausted.store(true, Ordering::SeqCst);
+                }
+                self.tracer.incr("model.rollback", 1);
+                self.tracer.event_with(
+                    "model.rollback",
+                    vec![
+                        ("from", version.to_string()),
+                        ("to", report.from_version.to_string()),
+                        ("reason", reason.clone()),
+                        ("budget_left", left.to_string()),
+                    ],
+                );
+                return Err(SwapError::RolledBack { reason });
+            }
+        }
+        Ok(report)
+    }
+
+    /// Annotate one probe table, trapping panics so a poisoned candidate
+    /// cannot take the swap thread (or the service) down with it.
+    fn probe_labels(&self, model: &KgLink, table: &Table) -> Result<Vec<LabelId>, ()> {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let resources = kglink_core::pipeline::Resources::builder()
+                .graph(&self.graph)
+                .backend(self.probe_backend.as_ref())
+                .tokenizer(&self.tokenizer)
+                .tracer(&self.tracer)
+                .build()
+                .map_err(|_| ())?;
+            Ok(model.annotate_request(&resources, req(table)).labels)
+        }));
+        match outcome {
+            Ok(result) => result,
+            Err(_panic) => Err(()),
+        }
+    }
+
+    /// Poll until the comparison window has seen `min` requests or the
+    /// timeout elapses. Live traffic drives the counters; this thread only
+    /// sleeps and reads.
+    fn await_comparisons(&self, st: &ShadowState, min: u64, timeout: Duration) {
+        // kglink-lint: allow(nondeterminism) — real-time phase timeout for
+        // the blocking swap driver; annotation outputs never read it.
+        let t0 = Instant::now();
+        while st.compared.load(Ordering::SeqCst) < min && t0.elapsed() < timeout {
+            std::thread::sleep(Duration::from_micros(500));
         }
     }
 
@@ -588,5 +940,21 @@ impl AnnotationService {
 impl Drop for AnnotationService {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// Clears the swap-in-progress latch and any leftover comparison window on
+/// every exit path out of [`AnnotationService::swap_model`] — success,
+/// rejection, rollback, or a panic unwinding through the swap driver.
+struct SwapGuard<'a> {
+    lifecycle: &'a Lifecycle,
+}
+
+impl Drop for SwapGuard<'_> {
+    fn drop(&mut self) {
+        self.lifecycle.set_shadow(None);
+        self.lifecycle
+            .swap_in_progress
+            .store(false, Ordering::SeqCst);
     }
 }

@@ -49,10 +49,11 @@
 
 use crate::brownout::{self, CacheOnlyBackend};
 use crate::error::ServiceError;
+use crate::lifecycle::{Lifecycle, ModelEpoch, ShadowState};
 use crate::metered::{ExpiredBackend, MeteredBackend};
 use crate::queue::BoundedQueue;
 use crate::service::{Annotation, Request, Shared, SharedBackend};
-use kglink_core::pipeline::{req, Resources};
+use kglink_core::pipeline::{req, AnnotateOutcome, Resources};
 use kglink_core::{DegradationRung, KgLink};
 use kglink_kg::GraphAccess;
 use kglink_nn::Tokenizer;
@@ -62,11 +63,18 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc, PoisonError};
+use std::time::Instant;
 
 /// Everything one worker thread needs, bundled for the spawn closure.
 pub(crate) struct WorkerContext {
     pub idx: usize,
-    pub model: Arc<KgLink>,
+    /// Epoch slot + comparison window; the worker clones both once per
+    /// micro-batch, so a hot-swap lands between batches, never inside one.
+    pub lifecycle: Arc<Lifecycle>,
+    /// The shared (cached) retrieval stack *without* this worker's meter:
+    /// shadow duplicates annotate through it so they never pollute the
+    /// primary's retrieval metrics or simulated busy-time.
+    pub backend: SharedBackend,
     pub graph: Arc<dyn GraphAccess>,
     pub tokenizer: Arc<Tokenizer>,
     pub meter: Arc<MeteredBackend>,
@@ -124,11 +132,17 @@ pub(crate) fn run(ctx: WorkerContext) -> WorkerExit {
             // Closed and drained: exit.
             return WorkerExit::Drained;
         }
+        // One epoch (and one comparison window) per micro-batch: a promote
+        // that lands mid-batch takes effect at the *next* batch, so every
+        // request in this one is served end-to-end by `epoch` and nobody
+        // ever observes a torn model.
+        let epoch = ctx.lifecycle.current();
+        let shadow = ctx.lifecycle.shadow_snapshot();
         while let Some(request) = batch.pop_front() {
             ctx.shared.in_flight.fetch_add(1, Ordering::SeqCst);
             let guard = TicketGuard::arm(request.reply.clone());
             let outcome = catch_unwind(AssertUnwindSafe(|| {
-                let annotation = serve_request(&ctx, &request);
+                let annotation = serve_request(&ctx, &request, &epoch, shadow.as_ref());
                 let total_us = request.enqueued.elapsed().as_micros() as u64;
                 record_completion(&ctx, &annotation, total_us);
                 annotation
@@ -213,7 +227,69 @@ fn overload_control(ctx: &WorkerContext, sojourn_us: u64) -> DegradationRung {
     rung
 }
 
-fn serve_request(ctx: &WorkerContext, request: &Request) -> Annotation {
+/// The serving path a request resolved to after deadline + overload
+/// control: the shadow duplicate replays exactly this, so primary and
+/// shadow differ *only* in which model annotates (and in metering).
+#[derive(Clone, Copy)]
+struct ServePath {
+    /// Deadline spent in the queue: pure no-linkage, no KG budget.
+    expired: bool,
+    /// Effective degradation rung (cache-less CacheOnly already folded
+    /// into NoLinkage).
+    rung: DegradationRung,
+    /// KG budget left after queue wait; meaningless when `expired`.
+    remaining: Deadline,
+}
+
+/// Annotate one table with one model along a resolved [`ServePath`].
+/// `metered` selects the primary's per-worker metered stack for full
+/// retrieval; shadow runs pass `false` and use the shared un-metered
+/// stack so duplicate traffic never skews primary retrieval metrics or
+/// simulated busy-time.
+fn annotate_once(
+    ctx: &WorkerContext,
+    model: &KgLink,
+    request: &Request,
+    path: ServePath,
+    metered: bool,
+) -> AnnotateOutcome {
+    if path.expired {
+        // Out of budget: every retrieval fails instantly and the pipeline
+        // degrades to its no-linkage path. Arity is preserved; no panic.
+        let resources = worker_resources(ctx, &ExpiredBackend);
+        return model
+            .annotate_request(&resources, req(&request.table).rung(DegradationRung::NoLinkage));
+    }
+    let spec = req(&request.table).deadline(path.remaining).rung(path.rung);
+    match (path.rung, ctx.cache.as_ref()) {
+        (DegradationRung::Full, _) if metered => {
+            let resources = worker_resources(ctx, ctx.meter.as_ref());
+            model.annotate_request(&resources, spec)
+        }
+        (DegradationRung::Full, _) => {
+            let resources = worker_resources(ctx, ctx.backend.as_ref());
+            model.annotate_request(&resources, spec)
+        }
+        (DegradationRung::CacheOnly, Some(cache)) => {
+            let cache_only = CacheOnlyBackend::new(cache);
+            let resources = worker_resources(ctx, &cache_only);
+            model.annotate_request(&resources, spec)
+        }
+        // `ServePath` folds a cache-less CacheOnly into NoLinkage, so
+        // this arm doubles as the NoLinkage path.
+        (_, _) => {
+            let resources = worker_resources(ctx, &ExpiredBackend);
+            model.annotate_request(&resources, spec)
+        }
+    }
+}
+
+fn serve_request(
+    ctx: &WorkerContext,
+    request: &Request,
+    epoch: &Arc<ModelEpoch>,
+    shadow: Option<&Arc<ShadowState>>,
+) -> Annotation {
     let wait_us = request.enqueued.elapsed().as_micros() as u64;
     // Queue wait is dead time before service starts, so it is a stage
     // timer, not a span: `serve.request` below covers service time only.
@@ -222,52 +298,41 @@ fn serve_request(ctx: &WorkerContext, request: &Request) -> Annotation {
     let _request_span = ctx.tracer.span("serve.request");
     let budget = request.deadline.budget_us();
     let expired = !request.deadline.is_unbounded() && wait_us >= budget;
-
-    let sim_before = ctx.meter.sim_latency_us();
-    let (outcome, served_rung) = if expired {
-        // Out of budget: every retrieval fails instantly and the pipeline
-        // degrades to its no-linkage path. Arity is preserved; no panic.
-        let resources = worker_resources(ctx, &ExpiredBackend);
-        let outcome = ctx
-            .model
-            .annotate_request(&resources, req(&request.table).rung(DegradationRung::NoLinkage));
-        (outcome, DegradationRung::NoLinkage)
-    } else {
-        let remaining = if request.deadline.is_unbounded() {
-            Deadline::UNBOUNDED
-        } else {
-            Deadline::from_us(budget - wait_us)
-        };
+    let path = ServePath {
+        expired,
         // A cache-only rung without a cache has nothing to serve hits
         // from: fold it into the no-linkage rung so the recorded rung
         // matches what actually happened.
-        let effective = match rung {
-            DegradationRung::CacheOnly if ctx.cache.is_none() => DegradationRung::NoLinkage,
-            other => other,
-        };
-        let spec = req(&request.table).deadline(remaining).rung(effective);
-        let outcome = match (effective, ctx.cache.as_ref()) {
-            (DegradationRung::Full, _) => {
-                let resources = worker_resources(ctx, ctx.meter.as_ref());
-                ctx.model.annotate_request(&resources, spec)
+        rung: if expired {
+            DegradationRung::NoLinkage
+        } else {
+            match rung {
+                DegradationRung::CacheOnly if ctx.cache.is_none() => DegradationRung::NoLinkage,
+                other => other,
             }
-            (DegradationRung::CacheOnly, Some(cache)) => {
-                let cache_only = CacheOnlyBackend::new(cache);
-                let resources = worker_resources(ctx, &cache_only);
-                ctx.model.annotate_request(&resources, spec)
-            }
-            // `effective` folds a cache-less CacheOnly into NoLinkage
-            // above, so this arm doubles as the NoLinkage path.
-            (_, _) => {
-                let resources = worker_resources(ctx, &ExpiredBackend);
-                ctx.model.annotate_request(&resources, spec)
-            }
-        };
-        (outcome, effective)
+        },
+        remaining: if request.deadline.is_unbounded() || expired {
+            Deadline::UNBOUNDED
+        } else {
+            Deadline::from_us(budget - wait_us)
+        },
     };
+
+    let sim_before = ctx.meter.sim_latency_us();
+    // kglink-lint: allow(nondeterminism) — annotate-only wall time feeding
+    // the shadow-comparison latency histograms; labels never read it.
+    let t0 = Instant::now();
+    let outcome = annotate_once(ctx, &epoch.model, request, path, true);
+    let primary_us = t0.elapsed().as_micros() as u64;
     let sim_retrieval_us = ctx.meter.sim_latency_us() - sim_before;
     let sim_cost_us = sim_retrieval_us + ctx.sim_col_cost_us * request.table.n_cols() as u64;
     ctx.shared.sim_busy_us[ctx.idx].fetch_add(sim_cost_us, Ordering::Relaxed);
+
+    if let Some(sh) = shadow {
+        if request.id.is_multiple_of(sh.sample_every) {
+            run_shadow(ctx, sh, request, path, &outcome, primary_us);
+        }
+    }
 
     Annotation {
         labels: outcome.labels,
@@ -275,8 +340,74 @@ fn serve_request(ctx: &WorkerContext, request: &Request) -> Annotation {
         failed_cells: outcome.failed_cells,
         queue_us: wait_us,
         expired,
-        rung: served_rung,
+        rung: path.rung,
+        model_version: epoch.version,
     }
+}
+
+/// Duplicate one sampled request against the comparison epoch (the
+/// candidate during the shadow phase, the prior epoch during watch).
+/// No user-visible output: only the [`ShadowState`] counters and latency
+/// histograms observe the duplicate, and a panicking comparison model is
+/// swallowed here and counted as a full flip — it can never take the
+/// request (or the worker) down with it.
+fn run_shadow(
+    ctx: &WorkerContext,
+    sh: &ShadowState,
+    request: &Request,
+    path: ServePath,
+    primary: &AnnotateOutcome,
+    primary_us: u64,
+) {
+    // kglink-lint: allow(nondeterminism) — shadow annotate wall time for
+    // the p99-inflation guard; no annotation output reads it.
+    let t0 = Instant::now();
+    let duplicate = catch_unwind(AssertUnwindSafe(|| {
+        annotate_once(ctx, &sh.epoch.model, request, path, false).labels
+    }));
+    let shadow_us = t0.elapsed().as_micros() as u64;
+    let (flipped_columns, flipped) = match &duplicate {
+        Ok(labels) => {
+            let differing = primary
+                .labels
+                .iter()
+                .zip(labels)
+                .filter(|(a, b)| a != b)
+                .count()
+                + primary.labels.len().abs_diff(labels.len());
+            (differing, differing > 0)
+        }
+        // A panicked duplicate is maximal divergence: every column flips.
+        Err(_panic) => (primary.labels.len(), true),
+    };
+    sh.flipped_columns
+        .fetch_add(flipped_columns as u64, Ordering::SeqCst);
+    sh.compared_columns
+        .fetch_add(primary.labels.len() as u64, Ordering::SeqCst);
+    if flipped {
+        sh.flips.fetch_add(1, Ordering::SeqCst);
+    }
+    sh.shadow_latency
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .record(shadow_us);
+    sh.primary_latency
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .record(primary_us);
+    ctx.tracer.incr("model.shadow", 1);
+    ctx.tracer.event_with(
+        "model.shadow",
+        vec![
+            ("request", request.id.to_string()),
+            ("shadow_version", sh.epoch.version.to_string()),
+            ("flipped", flipped.to_string()),
+        ],
+    );
+    // `compared` last: the swap driver polls it to decide the window is
+    // full, then reads the other counters — everything recorded for this
+    // comparison must already be visible when the count ticks.
+    sh.compared.fetch_add(1, Ordering::SeqCst);
 }
 
 /// The per-call resource bundle a worker annotates through. Infallible by
@@ -321,4 +452,6 @@ fn record_completion(ctx: &WorkerContext, annotation: &Annotation, total_us: u64
         // poison rather than cascade the panic.
         .unwrap_or_else(PoisonError::into_inner)
         .record(total_us);
+    ctx.lifecycle
+        .record_served(annotation.model_version, total_us);
 }

@@ -31,6 +31,9 @@ KGLINK_FAST=1 cargo run --release -q -p kglink-bench --bin exp_scale -- --smoke
 echo "== exp_bench smoke (kernel parity + speedup floor) =="
 KGLINK_FAST=1 cargo run --release -q -p kglink-bench --bin exp_bench -- --smoke
 
+echo "== exp_swap smoke (registry round-trip, hot swap under load, rollback) =="
+KGLINK_FAST=1 cargo run --release -q -p kglink-bench --bin exp_swap -- --smoke
+
 echo "== kglink-lint self-test (fixture corpus meta-gate) =="
 # The linter must still *find* things before its clean workspace run means
 # anything: every rule's fixtures must fire exactly as declared. A rule

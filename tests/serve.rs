@@ -462,3 +462,146 @@ fn preprocessing_through_the_cache_is_deterministic() {
         );
     }
 }
+
+/// A hot swap under live traffic is atomic: every request is served
+/// end-to-end by exactly one epoch (its recorded `model_version`), labels
+/// stay bit-identical to the single-threaded baseline throughout, and the
+/// same-weights candidate sails through the default divergence gates.
+#[test]
+fn hot_swap_is_atomic_and_bit_identical() {
+    use kglink::serve::{Annotation, SwapPlan};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Duration;
+
+    let fx = fixture();
+    let svc = service(
+        fx,
+        ServiceConfig {
+            workers: 2,
+            max_batch: 2,
+            cache: None,
+            initial_version: 7,
+            ..ServiceConfig::default()
+        },
+    );
+    let direct = fx.resources_with(fx.searcher.as_ref());
+    let expected: Vec<Vec<LabelId>> = fx
+        .tables
+        .iter()
+        .map(|t| fx.model.annotate_request(&direct, req(t)).labels)
+        .collect();
+
+    let stop = AtomicBool::new(false);
+    let collected: std::sync::Mutex<Vec<(usize, Annotation)>> = std::sync::Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        let (svc_ref, stop_ref, coll) = (&svc, &stop, &collected);
+        s.spawn(move || {
+            let mut tickets = Vec::new();
+            let mut i = 0usize;
+            while !stop_ref.load(Ordering::Relaxed) {
+                let idx = i % fx.tables.len();
+                tickets.push((idx, svc_ref.submit(fx.tables[idx].clone()).unwrap()));
+                i += 1;
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            let mut out = coll.lock().unwrap();
+            for (idx, t) in tickets {
+                out.push((idx, t.wait().unwrap()));
+            }
+        });
+        // Same weights under a new version id: zero flips, so the default
+        // 10% divergence gates pass and the swap must promote.
+        let plan = SwapPlan {
+            shadow_sample_every: 1,
+            shadow_min_requests: 2,
+            watch_sample_every: 1,
+            watch_min_requests: 2,
+            phase_timeout: Duration::from_secs(30),
+            ..SwapPlan::default()
+        };
+        let report = svc
+            .swap_model(8, Arc::clone(&fx.model), &plan)
+            .expect("same-weights swap promotes");
+        assert_eq!((report.from_version, report.to_version), (7, 8));
+        assert_eq!(report.shadow_flips, 0, "identical weights never flip");
+        assert_eq!(svc.model_version(), 8);
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let results = collected.into_inner().unwrap();
+    assert!(!results.is_empty());
+    for (idx, a) in &results {
+        assert!(
+            a.model_version == 7 || a.model_version == 8,
+            "request served by unknown epoch {}",
+            a.model_version
+        );
+        assert_eq!(&a.labels, &expected[*idx], "torn ticket for table {idx}");
+    }
+    let m = svc.metrics();
+    assert_eq!((m.swaps, m.rollbacks), (1, 0));
+    assert_eq!(m.model_version, 8);
+    let stats = svc.version_stats();
+    assert_eq!(
+        stats.values().map(|v| v.served).sum::<u64>(),
+        results.len() as u64
+    );
+}
+
+/// Candidates that cannot possibly serve are refused without touching the
+/// epoch: a label-space mismatch is rejected at prepare, and a zero
+/// rollback budget fails closed before any phase runs.
+#[test]
+fn swap_rejects_label_mismatch_and_fails_closed_on_zero_budget() {
+    use kglink::core::KgLinkModel;
+    use kglink::serve::{SwapError, SwapPhase, SwapPlan};
+    use kglink::table::LabelVocab;
+
+    let fx = fixture();
+    let svc = service(
+        fx,
+        ServiceConfig {
+            workers: 1,
+            initial_version: 1,
+            ..ServiceConfig::default()
+        },
+    );
+    // A candidate trained against a different label vocabulary.
+    let mut labels = LabelVocab::default();
+    for name in ["alpha", "beta"] {
+        labels.intern(name);
+    }
+    let alien = Arc::new(KgLink {
+        config: fx.model.config.clone(),
+        model: KgLinkModel::new(&fx.model.config, 64, labels.len()),
+        labels,
+    });
+    match svc.swap_model(2, alien, &SwapPlan::default()) {
+        Err(SwapError::Rejected {
+            phase: SwapPhase::Prepare,
+            ..
+        }) => {}
+        other => panic!("label mismatch must be rejected at prepare, got {other:?}"),
+    }
+    assert_eq!(svc.model_version(), 1, "rejection never touches the epoch");
+
+    let svc0 = service(
+        fx,
+        ServiceConfig {
+            workers: 1,
+            rollback_budget: 0,
+            ..ServiceConfig::default()
+        },
+    );
+    match svc0.swap_model(2, Arc::clone(&fx.model), &SwapPlan::default()) {
+        Err(SwapError::RollbackBudgetExhausted { budget: 0 }) => {}
+        other => panic!("zero budget must fail closed, got {other:?}"),
+    }
+    // …and the service still serves.
+    let a = svc0
+        .submit(fx.tables[0].clone())
+        .unwrap()
+        .wait()
+        .expect("fail-closed lifecycle keeps serving");
+    assert_eq!(a.model_version, 0);
+}
