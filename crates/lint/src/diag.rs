@@ -68,6 +68,13 @@ pub struct Report {
     /// Findings silenced by a justified `allow(...)` comment.
     pub suppressed: usize,
     pub files_scanned: usize,
+    /// Suppression audit: per-rule counts of silenced findings, sorted by
+    /// rule id. Deterministic, so it is safe to persist in `lint.jsonl`.
+    pub suppressed_by_rule: Vec<(String, usize)>,
+    /// Wall-clock per rule, in microseconds, in execution order. Timing is
+    /// inherently nondeterministic, so it is printed to stdout only — it
+    /// must never reach `lint.jsonl`, which CI diffs byte-for-byte.
+    pub timings: Vec<(String, u128)>,
 }
 
 impl Report {
@@ -82,6 +89,21 @@ impl Report {
             self.findings.len(),
             self.suppressed,
             self.files_scanned
+        )
+    }
+
+    /// One-line JSON record summarising the suppression audit, suitable for
+    /// appending to `lint.jsonl`. Fully deterministic.
+    pub fn audit_json(&self) -> String {
+        let by_rule: Vec<String> = self
+            .suppressed_by_rule
+            .iter()
+            .map(|(rule, n)| format!("{}:{n}", json_str(rule)))
+            .collect();
+        format!(
+            "{{\"record\":\"suppression-audit\",\"suppressed\":{},\"by_rule\":{{{}}}}}",
+            self.suppressed,
+            by_rule.join(",")
         )
     }
 }

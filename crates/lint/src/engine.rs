@@ -2,13 +2,17 @@
 //! `allow(...)` suppressions, and run the suppression-hygiene meta-checks.
 
 use crate::diag::{Finding, Report};
-use crate::rules::{all_rules, META_RULES};
+use crate::rules::{all_rules, graph_rules, META_RULES};
 use crate::source::{Scope, SourceFile};
+use crate::workspace::Workspace;
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-/// Directories never descended into during a workspace walk.
-const SKIP_DIRS: &[&str] = &["target", "third_party", ".git", "results"];
+/// The one ignore list: directories never descended into during a workspace
+/// walk. Build output, vendored stubs, VCS metadata, and exported results
+/// are all skipped here and nowhere else — rules and the walker share it.
+pub const IGNORED_DIRS: &[&str] = &["target", "third_party", ".git", "results"];
 
 /// Minimum justification length for an `allow(...)`; long enough to force a
 /// reason, short enough not to fight anyone writing a real one.
@@ -44,7 +48,7 @@ pub fn workspace_files(root: &Path) -> Vec<PathBuf> {
             let name = entry.file_name();
             let name = name.to_string_lossy();
             if path.is_dir() {
-                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                if !IGNORED_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
                     stack.push(path);
                 }
             } else if name.ends_with(".rs") {
@@ -94,12 +98,23 @@ pub fn load_inputs(root: &Path, files: &[PathBuf], errors: &mut Vec<Finding>) ->
     inputs
 }
 
-/// Run the full rule set over `inputs` and apply suppressions.
+/// Wall-clock source for per-rule timing. Timing output goes to stdout
+/// only, never into `lint.jsonl`, so the determinism the `nondeterminism`
+/// rule guards is preserved.
+fn rule_clock() -> std::time::Instant {
+    // kglink-lint: allow(nondeterminism) — times rule execution for stdout reporting only; never serialized into findings or lint.jsonl
+    std::time::Instant::now()
+}
+
+/// Run the full rule set — per-file rules, then the interprocedural graph
+/// rules over the phase-1 workspace model — and apply suppressions.
 pub fn lint_inputs(inputs: Vec<Input>, force_scope: Option<Scope>) -> Report {
     let mut rules = all_rules();
+    let graph = graph_rules();
     let known_rule_ids: Vec<&'static str> = rules
         .iter()
         .map(|r| r.id())
+        .chain(graph.iter().map(|r| r.id()))
         .chain(META_RULES.iter().map(|(id, _)| *id))
         .collect();
 
@@ -112,22 +127,39 @@ pub fn lint_inputs(inputs: Vec<Input>, force_scope: Option<Scope>) -> Report {
         files.push(f);
     }
 
+    let mut timings: Vec<(String, u128)> = Vec::new();
     let mut raw: Vec<Finding> = Vec::new();
-    for f in &files {
-        for rule in rules.iter_mut() {
+    // Phase 2a: per-file rules, timed rule-by-rule across the whole input
+    // set (findings are re-sorted later, so iteration order is cosmetic).
+    for rule in rules.iter_mut() {
+        let t0 = rule_clock();
+        for f in &files {
             rule.check_file(f, &mut raw);
         }
-    }
-    for rule in rules.iter_mut() {
         rule.finish(&mut raw);
+        timings.push((rule.id().to_string(), t0.elapsed().as_micros()));
     }
+
+    // Phase 1: parse items, resolve the call graph, compute and propagate
+    // summaries. Phase 2b: interprocedural rules over the workspace model.
+    let t0 = rule_clock();
+    let ws = Workspace::build(files);
+    timings.push(("(workspace-build)".to_string(), t0.elapsed().as_micros()));
+    for rule in &graph {
+        let t0 = rule_clock();
+        rule.check(&ws, &mut raw);
+        timings.push((rule.id().to_string(), t0.elapsed().as_micros()));
+    }
+    let files = &ws.files;
 
     // Suppression pass: a finding is silenced by an allow(...) naming its
     // rule whose target line matches the finding's line in the same file.
     let mut report = Report {
         files_scanned: files.len(),
+        timings,
         ..Report::default()
     };
+    let mut by_rule: BTreeMap<&'static str, usize> = BTreeMap::new();
     for finding in raw {
         let suppressed = files
             .iter()
@@ -140,13 +172,18 @@ pub fn lint_inputs(inputs: Vec<Input>, force_scope: Option<Scope>) -> Report {
             > 0;
         if suppressed {
             report.suppressed += 1;
+            *by_rule.entry(finding.rule).or_insert(0) += 1;
         } else {
             report.findings.push(finding);
         }
     }
+    report.suppressed_by_rule = by_rule
+        .into_iter()
+        .map(|(rule, n)| (rule.to_string(), n))
+        .collect();
 
     // Suppression hygiene.
-    for f in &files {
+    for f in files {
         for s in &f.suppressions {
             for r in &s.rules {
                 if !known_rule_ids.iter().any(|k| k == r) {

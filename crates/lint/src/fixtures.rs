@@ -2,8 +2,8 @@
 //!
 //! The corpus under `crates/lint/tests/corpus/` holds known-bad (and
 //! known-suppressed) snippets as `.rsfix` files — a non-`.rs` extension so
-//! the workspace walk never lints them as product code. Each file starts
-//! with directives:
+//! the workspace walk never lints them as product code. Directives are
+//! ordinary `//@` comments:
 //!
 //! ```text
 //! //@ path: crates/kg/src/io.rs        — virtual path used for scoping
@@ -11,52 +11,71 @@
 //! //@ suppressed: 2                     — exact count of suppressed findings
 //! ```
 //!
-//! [`run_corpus`] lints every fixture against its declared expectations and
-//! reports mismatches in both directions: a finding that stopped firing
-//! means a rule silently went blind (the failure mode that killed the old
-//! grep gates); an undeclared finding means a rule grew a false positive.
-//! CI runs this via `kglink-lint --self-test` as a meta-gate: an empty or
-//! finding-free corpus is itself a failure.
+//! A fixture may bundle **several virtual files** — the shape the
+//! interprocedural rules need, since their findings only exist once a call
+//! graph spans files. Each `//@ file: <virtual-path>` directive starts a new
+//! section running to the next `//@ file:` or end of fixture; the directive
+//! line itself is line 1 of that section. `//@ expect:` lines bind to the
+//! section that contains them, with section-relative line numbers, and
+//! `//@ suppressed:` stays a bundle-wide total. Single-file fixtures keep
+//! the original `//@ path:` form unchanged.
+//!
+//! [`run_corpus`] lints every fixture (all of a bundle's sections in one
+//! engine run, so calls resolve across them) against its declared
+//! expectations and reports mismatches in both directions: a finding that
+//! stopped firing means a rule silently went blind (the failure mode that
+//! killed the old grep gates); an undeclared finding means a rule grew a
+//! false positive. CI runs this via `kglink-lint --self-test` as a
+//! meta-gate: an empty or finding-free corpus is itself a failure.
 
 use crate::engine::lint_inputs;
 use crate::engine::Input;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-/// One `//@ expect: <rule> @ <line>` directive.
+/// One `//@ expect: <rule> @ <line>` directive, bound to the virtual file
+/// whose section contains it.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Expectation {
     pub rule: String,
+    /// Virtual path of the section the directive sits in.
+    pub path: String,
+    /// Line number relative to the section (absolute for `//@ path:` files).
     pub line: u32,
 }
 
-/// A parsed `.rsfix` corpus file.
+/// A parsed `.rsfix` corpus file: one or more virtual files plus the
+/// expectations they must (and must not) produce.
 #[derive(Debug)]
 pub struct Fixture {
     /// The on-disk file (for error messages).
     pub real_path: PathBuf,
-    /// The path the linter pretends the snippet lives at.
-    pub virtual_path: String,
-    pub text: String,
+    /// `(virtual path, text)` sections, in declaration order.
+    pub files: Vec<(String, String)>,
     pub expect: Vec<Expectation>,
-    /// Exact number of findings an `allow(...)` must silence in this file.
+    /// Exact number of findings `allow(...)`s must silence across the bundle.
     pub suppressed: usize,
 }
 
 /// Parse directives out of a fixture's text. Directives are ordinary `//@`
-/// comments, so they are invisible to the rules themselves; expected line
-/// numbers refer to real lines of the file, directives included.
+/// comments, so they are invisible to the rules themselves.
 pub fn parse_fixture(real_path: &Path, text: String) -> Result<Fixture, String> {
-    let mut virtual_path = None;
-    let mut expect = Vec::new();
+    let lines: Vec<&str> = text.lines().collect();
+    let mut primary: Option<String> = None;
+    // (starting line index, virtual path) of each `//@ file:` section.
+    let mut bounds: Vec<(usize, String)> = Vec::new();
+    // (line index of the directive, rule, declared line).
+    let mut raw_expect: Vec<(usize, String, u32)> = Vec::new();
     let mut suppressed = 0usize;
-    for (idx, line) in text.lines().enumerate() {
+    for (idx, line) in lines.iter().enumerate() {
         let Some(rest) = line.trim().strip_prefix("//@") else {
             continue;
         };
         let rest = rest.trim();
         if let Some(p) = rest.strip_prefix("path:") {
-            virtual_path = Some(p.trim().to_string());
+            primary = Some(p.trim().to_string());
+        } else if let Some(p) = rest.strip_prefix("file:") {
+            bounds.push((idx, p.trim().to_string()));
         } else if let Some(e) = rest.strip_prefix("expect:") {
             let Some((rule, at)) = e.split_once('@') else {
                 return Err(format!(
@@ -72,10 +91,7 @@ pub fn parse_fixture(real_path: &Path, text: String) -> Result<Fixture, String> 
                     idx + 1
                 ));
             };
-            expect.push(Expectation {
-                rule: rule.trim().to_string(),
-                line: line_no,
-            });
+            raw_expect.push((idx, rule.trim().to_string(), line_no));
         } else if let Some(n) = rest.strip_prefix("suppressed:") {
             suppressed = n.trim().parse::<usize>().map_err(|_| {
                 format!(
@@ -92,16 +108,52 @@ pub fn parse_fixture(real_path: &Path, text: String) -> Result<Fixture, String> 
             ));
         }
     }
-    let Some(virtual_path) = virtual_path else {
-        return Err(format!(
-            "{}: missing `//@ path:` directive",
-            real_path.display()
-        ));
-    };
+
+    // Materialize sections as (path, start, end) half-open line ranges.
+    let first_bound = bounds.first().map_or(lines.len(), |(i, _)| *i);
+    let mut sections: Vec<(String, usize, usize)> = Vec::new();
+    match primary {
+        Some(p) => sections.push((p, 0, first_bound)),
+        None if bounds.is_empty() => {
+            return Err(format!(
+                "{}: missing `//@ path:` or `//@ file:` directive",
+                real_path.display()
+            ));
+        }
+        None => {}
+    }
+    for (bi, (start, p)) in bounds.iter().enumerate() {
+        let end = bounds.get(bi + 1).map_or(lines.len(), |(i, _)| *i);
+        sections.push((p.clone(), *start, end));
+    }
+
+    let mut expect = Vec::new();
+    for (idx, rule, line_no) in raw_expect {
+        let Some((path, _, _)) = sections.iter().find(|(_, s, e)| *s <= idx && idx < *e) else {
+            return Err(format!(
+                "{}:{}: expect directive outside any `//@ path:`/`//@ file:` section",
+                real_path.display(),
+                idx + 1
+            ));
+        };
+        expect.push(Expectation {
+            rule,
+            path: path.clone(),
+            line: line_no,
+        });
+    }
+
+    let files = sections
+        .into_iter()
+        .map(|(p, s, e)| {
+            let mut t = lines[s..e].join("\n");
+            t.push('\n');
+            (p, t)
+        })
+        .collect();
     Ok(Fixture {
         real_path: real_path.to_path_buf(),
-        virtual_path,
-        text,
+        files,
         expect,
         suppressed,
     })
@@ -152,8 +204,9 @@ impl CorpusOutcome {
     }
 }
 
-/// Lint every fixture in `dir` (each file in isolation, under its virtual
-/// path) and compare against its declared expectations.
+/// Lint every fixture in `dir` (each fixture in isolation, its sections
+/// together under their virtual paths) and compare against its declared
+/// expectations.
 pub fn run_corpus(dir: &Path) -> CorpusOutcome {
     let mut outcome = CorpusOutcome::default();
     let files = corpus_files(dir);
@@ -190,10 +243,14 @@ pub fn run_corpus(dir: &Path) -> CorpusOutcome {
 
 fn check_fixture(fixture: &Fixture, mismatches: &mut Vec<String>) {
     let report = lint_inputs(
-        vec![Input {
-            path: fixture.virtual_path.clone(),
-            text: fixture.text.clone(),
-        }],
+        fixture
+            .files
+            .iter()
+            .map(|(path, text)| Input {
+                path: path.clone(),
+                text: text.clone(),
+            })
+            .collect(),
         None,
     );
     let mut got: Vec<Expectation> = report
@@ -201,6 +258,7 @@ fn check_fixture(fixture: &Fixture, mismatches: &mut Vec<String>) {
         .iter()
         .map(|f| Expectation {
             rule: f.rule.to_string(),
+            path: f.path.clone(),
             line: f.line,
         })
         .collect();
@@ -211,16 +269,16 @@ fn check_fixture(fixture: &Fixture, mismatches: &mut Vec<String>) {
     for e in &want {
         if !got.contains(e) {
             mismatches.push(format!(
-                "{name}: expected `{}` at line {} did not fire — the rule went blind",
-                e.rule, e.line
+                "{name}: expected `{}` at {}:{} did not fire — the rule went blind",
+                e.rule, e.path, e.line
             ));
         }
     }
     for e in &got {
         if !want.contains(e) {
             mismatches.push(format!(
-                "{name}: undeclared finding `{}` at line {} — false positive or stale corpus",
-                e.rule, e.line
+                "{name}: undeclared finding `{}` at {}:{} — false positive or stale corpus",
+                e.rule, e.path, e.line
             ));
         }
     }
@@ -240,11 +298,13 @@ mod tests {
     fn parses_directives() {
         let text = "//@ path: crates/x/src/a.rs\n//@ expect: panic-in-lib @ 4\n//@ suppressed: 1\nfn f() {}\n";
         let f = parse_fixture(Path::new("a.rsfix"), text.into()).expect("parses");
-        assert_eq!(f.virtual_path, "crates/x/src/a.rs");
+        assert_eq!(f.files.len(), 1);
+        assert_eq!(f.files[0].0, "crates/x/src/a.rs");
         assert_eq!(
             f.expect,
             vec![Expectation {
                 rule: "panic-in-lib".into(),
+                path: "crates/x/src/a.rs".into(),
                 line: 4
             }]
         );
@@ -252,9 +312,47 @@ mod tests {
     }
 
     #[test]
+    fn parses_multi_file_bundles_with_section_relative_expectations() {
+        let text = "\
+//@ file: crates/a/src/lib.rs
+//@ expect: panic-in-lib @ 3
+fn f() {
+    g();
+}
+//@ file: crates/b/src/lib.rs
+fn g() {}
+";
+        let f = parse_fixture(Path::new("m.rsfix"), text.into()).expect("parses");
+        assert_eq!(
+            f.files.iter().map(|(p, _)| p.as_str()).collect::<Vec<_>>(),
+            vec!["crates/a/src/lib.rs", "crates/b/src/lib.rs"]
+        );
+        // Section text starts at its `//@ file:` line, so declared line
+        // numbers count from the directive.
+        assert!(f.files[0].1.starts_with("//@ file:"));
+        assert_eq!(f.files[0].1.lines().count(), 5);
+        assert_eq!(f.files[1].1.lines().count(), 2);
+        assert_eq!(
+            f.expect,
+            vec![Expectation {
+                rule: "panic-in-lib".into(),
+                path: "crates/a/src/lib.rs".into(),
+                line: 3
+            }]
+        );
+    }
+
+    #[test]
     fn rejects_missing_path_and_bad_directives() {
         assert!(parse_fixture(Path::new("a.rsfix"), "fn f() {}\n".into()).is_err());
         assert!(parse_fixture(Path::new("a.rsfix"), "//@ path: x\n//@ expect: r\n".into()).is_err());
         assert!(parse_fixture(Path::new("a.rsfix"), "//@ path: x\n//@ bogus: y\n".into()).is_err());
+        // An expect with no enclosing section is a directive error, not a
+        // silent mis-binding.
+        assert!(parse_fixture(
+            Path::new("a.rsfix"),
+            "//@ expect: r @ 1\n//@ file: x\nfn f() {}\n".into()
+        )
+        .is_err());
     }
 }

@@ -12,27 +12,44 @@
 //! aware token tiler — exact enough for invariant linting, property-tested
 //! to never panic and to round-trip arbitrary input.
 //!
+//! The engine is two-phase (DESIGN.md §11): phase 1 parses every file into
+//! a lightweight item model, resolves calls into a workspace call graph,
+//! and computes per-function summaries propagated to fixpoint; phase 2 runs
+//! per-file rules over token streams and interprocedural rules over the
+//! assembled [`workspace::Workspace`].
+//!
 //! Architecture:
 //!
 //! - [`lexer`] — total-function tokenizer ([`lexer::lex`]).
 //! - [`source`] — per-file context: path scoping (lib/bin/test/bench/example),
 //!   inline `#[cfg(test)]` regions, `// kglink-lint: allow(<rule>)`
 //!   suppressions.
-//! - [`rules`] — the rule set behind the [`rules::Rule`] trait; see
-//!   DESIGN.md §11 for the catalog.
-//! - [`engine`] — workspace walk, rule dispatch, suppression application,
-//!   and suppression-hygiene meta-checks (`allow-unused`,
-//!   `allow-unknown-rule`, `allow-missing-justification`).
+//! - [`items`] — phase-1 item model: fns with signatures/bodies, `impl`
+//!   types, inline modules, `use` aliases; total, span-tiling parse.
+//! - [`callgraph`] — call-site extraction and name-based resolution with
+//!   type narrowing.
+//! - [`summary`] — per-fn facts (lock holds, panic/alloc/blocking sites,
+//!   `Deadline` discipline) and their fixpoint propagation.
+//! - [`workspace`] — the assembled phase-1 product handed to graph rules.
+//! - [`rules`] — per-file rules behind [`rules::Rule`] and interprocedural
+//!   rules behind [`rules::GraphRule`]; see DESIGN.md §11 for the catalog.
+//! - [`engine`] — workspace walk, rule dispatch, per-rule timing,
+//!   suppression application, and suppression-hygiene meta-checks
+//!   (`allow-unused`, `allow-unknown-rule`, `allow-missing-justification`).
 //! - [`diag`] — findings, human `file:line` rendering, JSONL export.
 
 #![deny(deprecated)]
 
+pub mod callgraph;
 pub mod diag;
 pub mod engine;
 pub mod fixtures;
+pub mod items;
 pub mod lexer;
 pub mod rules;
 pub mod source;
+pub mod summary;
+pub mod workspace;
 
 pub use diag::{Finding, Report};
 pub use engine::{find_workspace_root, lint_files, lint_inputs, workspace_files, Input};

@@ -14,7 +14,7 @@
 
 use kglink_lint::engine::{find_workspace_root, lint_inputs, load_inputs, workspace_files, Input};
 use kglink_lint::fixtures::{self, parse_fixture};
-use kglink_lint::rules::{all_rules, META_RULES};
+use kglink_lint::rules::{all_rules, graph_rules, META_RULES};
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -33,7 +33,7 @@ usage: kglink-lint [--workspace] [--deny-all] [--json] [--json-path <file>]
   --self-test    lint the fixture corpus against its //@ expect directives;
                  fails if any rule went blind or grew a false positive
   PATH...        extra files or directories to lint (.rs, plus .rsfix
-                 fixtures which are scoped by their //@ path directive)";
+                 fixtures scoped by their //@ path / //@ file directives)";
 
 struct Opts {
     workspace: bool,
@@ -107,6 +107,9 @@ fn main() -> ExitCode {
         for rule in all_rules() {
             println!("{:28} {}", rule.id(), rule.describe());
         }
+        for rule in graph_rules() {
+            println!("{:28} {}", rule.id(), rule.describe());
+        }
         for (id, desc) in META_RULES {
             println!("{id:28} {desc}");
         }
@@ -175,10 +178,12 @@ fn main() -> ExitCode {
                 match fs::read_to_string(&f).map_err(|e| e.to_string()).and_then(|text| {
                     parse_fixture(&f, text).map_err(|e| e.to_string())
                 }) {
-                    Ok(fixture) => inputs.push(Input {
-                        path: fixture.virtual_path,
-                        text: fixture.text,
-                    }),
+                    Ok(fixture) => inputs.extend(
+                        fixture
+                            .files
+                            .into_iter()
+                            .map(|(path, text)| Input { path, text }),
+                    ),
                     Err(e) => {
                         eprintln!("kglink-lint: {e}");
                         return ExitCode::from(2);
@@ -202,6 +207,19 @@ fn main() -> ExitCode {
     println!("kglink-lint: {}", report.summary());
 
     if let Some(json_path) = &opts.json {
+        // Per-rule timing is stdout-only: lint.jsonl must stay byte-identical
+        // across runs (see the determinism test), and wall-clock is not.
+        for (rule, micros) in &report.timings {
+            println!("kglink-lint: timing {rule:28} {micros:>8} µs");
+        }
+        if !report.suppressed_by_rule.is_empty() {
+            let audit: Vec<String> = report
+                .suppressed_by_rule
+                .iter()
+                .map(|(rule, n)| format!("{rule}={n}"))
+                .collect();
+            println!("kglink-lint: suppression audit: {}", audit.join(", "));
+        }
         let json_path = if json_path.is_absolute() {
             json_path.clone()
         } else {
@@ -221,6 +239,9 @@ fn main() -> ExitCode {
     }
 }
 
+/// Findings as JSONL (stable rule ids in each record), closed by one
+/// deterministic suppression-audit record. No timings: the file is diffed
+/// byte-for-byte across runs.
 fn write_jsonl(path: &Path, report: &kglink_lint::Report) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {
         fs::create_dir_all(parent)?;
@@ -229,5 +250,6 @@ fn write_jsonl(path: &Path, report: &kglink_lint::Report) -> std::io::Result<()>
     for f in &report.findings {
         writeln!(out, "{}", f.to_json())?;
     }
+    writeln!(out, "{}", report.audit_json())?;
     out.flush()
 }

@@ -1,0 +1,189 @@
+//! `epoch-hold`: the lifecycle epoch mutex is a slot, not a region.
+//!
+//! The zero-downtime swap design (DESIGN.md §15) hinges on the epoch lock
+//! being held only long enough to clone or replace the `Arc<ModelEpoch>`
+//! inside: workers take one clone per micro-batch and serve from it
+//! lock-free, and `promote` swaps the slot *between* micro-batches. If any
+//! serve-path code holds the epoch guard across a micro-batch boundary —
+//! pulling the next batch, serving a request, or anything that blocks —
+//! a promotion stalls behind live traffic and the "swap between
+//! micro-batches" guarantee silently becomes "swap when the slowest
+//! request finishes". This rule flags any acquisition of an epoch lock
+//! (receiver containing `epoch`) in `crates/serve` lib code whose guard
+//! outlives its own statement *and* whose hold region reaches a blocking
+//! operation, a call into (transitively) blocking code, or a micro-batch
+//! boundary function.
+
+use super::GraphRule;
+use crate::diag::Finding;
+use crate::rules::stmt_range;
+use crate::source::Scope;
+use crate::workspace::Workspace;
+
+pub struct EpochHold;
+
+/// Functions that constitute a micro-batch boundary on the serve path.
+const BOUNDARY_FNS: &[&str] = &["pop_batch", "serve_request", "annotate_request", "annotate"];
+
+impl GraphRule for EpochHold {
+    fn id(&self) -> &'static str {
+        "epoch-hold"
+    }
+
+    fn describe(&self) -> &'static str {
+        "the lifecycle epoch mutex must not be held across a micro-batch boundary in serve lib code"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for (i, (file_ix, item)) in ws.fns.iter().enumerate() {
+            let f = &ws.files[*file_ix];
+            if f.scope != Scope::Lib || !f.path.starts_with("crates/serve/") || item.in_test {
+                continue;
+            }
+            for lk in &ws.locals[i].locks {
+                if !lk.name.to_ascii_lowercase().contains("epoch") {
+                    continue;
+                }
+                // A guard confined to its own statement (clone-out /
+                // replace-in) is the sanctioned slot access.
+                let (_, stmt_end) = stmt_range(f, lk.ix);
+                let reach = reaches_boundary(ws, i, stmt_end.max(lk.hold.0), lk.hold.1);
+                let Some(why) = reach else { continue };
+                out.push(Finding::new(
+                    self.id(),
+                    &f.path,
+                    lk.line,
+                    format!(
+                        "`{}` holds the epoch lock `{}` across {} — promotion \
+                         stalls behind live traffic; clone the `Arc` out of the \
+                         slot and drop the guard before the boundary",
+                        item.name, lk.name, why,
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// First micro-batch-boundary reason inside code range `[from, to)` of fn
+/// `i`: a direct blocking site, a boundary-named call, or a call into a
+/// (transitively) blocking callee.
+fn reaches_boundary(ws: &Workspace, i: usize, from: usize, to: usize) -> Option<String> {
+    for b in &ws.locals[i].blocking {
+        if from <= b.ix && b.ix < to {
+            return Some(format!("a blocking {}", b.what));
+        }
+    }
+    for call in &ws.calls[i] {
+        if call.site.ix < from || call.site.ix >= to {
+            continue;
+        }
+        if BOUNDARY_FNS.contains(&call.site.name.as_str()) {
+            return Some(format!("the micro-batch boundary `{}`", call.site.name));
+        }
+        for &callee in &call.callees {
+            if callee == i {
+                continue;
+            }
+            if let Some(w) = &ws.props[callee].may_block {
+                return Some(format!(
+                    "`{}`, which blocks on {}{}",
+                    call.site.name,
+                    w.site.what,
+                    w.via_text()
+                ));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(files: Vec<(&str, &str)>) -> Vec<(String, u32, String)> {
+        let ws = Workspace::from_sources(files);
+        let mut out = Vec::new();
+        EpochHold.check(&ws, &mut out);
+        out.into_iter()
+            .map(|x| (x.path, x.line, x.message))
+            .collect()
+    }
+
+    #[test]
+    fn slot_clone_and_slot_replace_are_the_sanctioned_shapes() {
+        let src = "\
+impl Lifecycle {
+    fn current(&self) -> Arc<ModelEpoch> {
+        Arc::clone(&self.epoch.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+    fn install(&self, next: Arc<ModelEpoch>) -> Arc<ModelEpoch> {
+        let mut slot = self.epoch.lock().unwrap_or_else(PoisonError::into_inner);
+        mem::replace(&mut *slot, next)
+    }
+}
+";
+        assert!(run(vec![("crates/serve/src/lifecycle.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn epoch_guard_held_across_pop_batch_is_flagged() {
+        let src = "\
+impl Worker {
+    fn turn(&self, queue: &BoundedQueue<Req>) {
+        let epoch = self.lifecycle.epoch.lock().unwrap_or_else(PoisonError::into_inner);
+        let batch = queue.pop_batch(8);
+        serve(&epoch, batch);
+    }
+}
+";
+        let hits = run(vec![("crates/serve/src/worker.rs", src)]);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].1, 3);
+        assert!(hits[0].2.contains("pop_batch"), "{}", hits[0].2);
+    }
+
+    #[test]
+    fn epoch_guard_held_across_blocking_callee_is_flagged() {
+        let src = "\
+impl Worker {
+    fn turn(&self) {
+        let guard = self.epoch_slot.lock().unwrap_or_else(PoisonError::into_inner);
+        self.refill();
+        guard.version;
+    }
+    fn refill(&self) {
+        let next = self.rx.recv();
+    }
+}
+";
+        let hits = run(vec![("crates/serve/src/worker.rs", src)]);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].2.contains("`refill`"), "{}", hits[0].2);
+    }
+
+    #[test]
+    fn dropped_guard_and_non_epoch_locks_are_clean() {
+        let dropped = "\
+impl Worker {
+    fn turn(&self, queue: &BoundedQueue<Req>) {
+        let epoch = self.lifecycle.epoch.lock().unwrap_or_else(PoisonError::into_inner);
+        let current = Arc::clone(&epoch);
+        drop(epoch);
+        let batch = queue.pop_batch(8);
+    }
+}
+";
+        assert!(run(vec![("crates/serve/src/worker.rs", dropped)]).is_empty());
+        let other_lock = "\
+impl Worker {
+    fn turn(&self, queue: &BoundedQueue<Req>) {
+        let stats = self.stats.lock().unwrap_or_else(PoisonError::into_inner);
+        let batch = queue.pop_batch(8);
+    }
+}
+";
+        assert!(run(vec![("crates/serve/src/worker.rs", other_lock)]).is_empty());
+    }
+}

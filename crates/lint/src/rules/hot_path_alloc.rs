@@ -1,32 +1,42 @@
 //! `hot-path-alloc`: kernel and layer forward/backward bodies must not
-//! allocate.
+//! allocate — now including through the helpers they call.
 //!
 //! The kernel layer's whole contract is that steady-state inference
 //! performs zero heap allocations: every buffer comes from a preallocated
 //! [`Scratch`] arena (`kglink_kernels::Scratch`), and the counting-allocator
 //! test in `crates/nn/tests/alloc.rs` enforces the end-to-end guarantee.
 //! That test only covers the paths it drives, though — a `vec![0.0; n]`
-//! added to a rarely-taken branch of a `forward`/`backward` body regresses
-//! the per-call allocation count without failing it. This rule is the
-//! static backstop: it flags the allocation idioms (`Vec::new()`, `vec![`,
-//! `.to_vec()`, `.clone()`) inside any `fn forward`/`fn backward` body in
-//! the kernel crate (`crates/kernels/`) and the layer zoo
-//! (`crates/nn/src/layers/`).
+//! added to a rarely-taken branch regresses the per-call allocation count
+//! without failing it. This rule is the static backstop, in two layers:
+//!
+//! 1. **Direct sites** — the original scan, unchanged: the allocation
+//!    idioms (`Vec::new()`, `vec![`, `.to_vec()`, `.clone()`) inside any
+//!    `fn forward`/`fn backward` body in the kernel crate
+//!    (`crates/kernels/`) and the layer zoo (`crates/nn/src/layers/`).
+//! 2. **Reach through helpers** — a forward/backward body calling (through
+//!    any resolved chain) a function in those same hot-path crates whose
+//!    body allocates. The helper itself is legal (`hot-path-alloc` only
+//!    polices hot bodies), but calling it from a hot body moves the
+//!    allocation onto the steady-state path; flagged at the call site.
+//!    Allocations outside the hot-path crates are out of scope — the rest
+//!    of the workspace allocates freely, and hot code calling into it
+//!    (e.g. error construction on a cold branch) is the allocation-counting
+//!    test's business, not this rule's.
 //!
 //! Training-path allocations that are *owned past the call* — a cache that
 //! must outlive the caller's borrow of the input, for example — are
 //! legitimate; they carry a justified
-//! `// kglink-lint: allow(hot-path-alloc)` comment. Inference entry points
-//! (`infer`, `infer_batch`) are covered by the allocation-counting test
-//! rather than this rule, because they are allowed to *warm* the scratch
-//! pool on first use.
+//! `// kglink-lint: allow(hot-path-alloc)` comment, which also stops the
+//! site from propagating to callers.
 //!
 //! [`Scratch`]: ../../../kernels/src/scratch.rs
 
-use super::Rule;
+use super::GraphRule;
 use crate::diag::Finding;
 use crate::lexer::TokKind;
-use crate::source::SourceFile;
+use crate::source::{Scope, SourceFile};
+use crate::workspace::Workspace;
+use std::collections::BTreeSet;
 
 pub struct HotPathAlloc;
 
@@ -37,86 +47,147 @@ const PATH_SCOPE: &[&str] = &["crates/kernels/", "crates/nn/src/layers/"];
 /// Function names whose bodies the rule scans.
 const HOT_FNS: &[&str] = &["forward", "backward"];
 
-impl Rule for HotPathAlloc {
+impl GraphRule for HotPathAlloc {
     fn id(&self) -> &'static str {
         "hot-path-alloc"
     }
 
     fn describe(&self) -> &'static str {
-        "kernel/layer forward and backward bodies allocate only through scratch arenas"
+        "kernel/layer forward and backward bodies allocate only through scratch arenas, including via helpers"
     }
 
-    fn check_file(&mut self, f: &SourceFile, out: &mut Vec<Finding>) {
-        if f.scope != crate::source::Scope::Lib
-            || !PATH_SCOPE.iter().any(|p| f.path.starts_with(p))
-        {
-            return;
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for f in &ws.files {
+            check_direct(self.id(), f, out);
         }
-        let n = f.code.len();
-        let mut i = 0usize;
-        while i < n {
-            let is_hot_fn = f.code_text(i) == "fn"
-                && f.code_kind(i + 1) == Some(TokKind::Ident)
-                && HOT_FNS.contains(&f.code_text(i + 1))
-                && !f.code_in_test(i);
-            if !is_hot_fn {
-                i += 1;
+        let mut seen: BTreeSet<(usize, u32, String)> = BTreeSet::new();
+        for (i, (file_ix, item)) in ws.fns.iter().enumerate() {
+            let f = &ws.files[*file_ix];
+            if f.scope != Scope::Lib
+                || item.in_test
+                || !HOT_FNS.contains(&item.name.as_str())
+                || !PATH_SCOPE.iter().any(|p| f.path.starts_with(p))
+            {
                 continue;
             }
-            let Some((body_start, body_end)) = fn_body(f, i + 2) else {
-                // Trait signature (`fn forward(...);`) or unbalanced file:
-                // nothing to scan.
-                i += 2;
-                continue;
-            };
-            self.check_body(f, body_start, body_end, out);
-            i = body_end;
+            for call in &ws.calls[i] {
+                for &callee in &call.callees {
+                    if callee == i {
+                        continue;
+                    }
+                    let Some(w) = &ws.props[callee].may_alloc else {
+                        continue;
+                    };
+                    let wf = &ws.files[w.site.file];
+                    if wf.scope != Scope::Lib
+                        || !PATH_SCOPE.iter().any(|p| wf.path.starts_with(p))
+                    {
+                        continue; // out-of-scope code allocates freely
+                    }
+                    // The fn owning the witness site is the last hop of the
+                    // chain (or the callee itself); if that is a hot body in
+                    // scope, the direct layer already anchors the site.
+                    let owner = w
+                        .via
+                        .last()
+                        .map(String::as_str)
+                        .unwrap_or(ws.fns[callee].1.name.as_str());
+                    if HOT_FNS.contains(&owner) {
+                        continue;
+                    }
+                    if !seen.insert((*file_ix, call.site.line, call.site.name.clone())) {
+                        continue;
+                    }
+                    out.push(Finding::new(
+                        self.id(),
+                        &f.path,
+                        call.site.line,
+                        format!(
+                            "`{}` body calls `{}` which allocates at {}:{} ({}){} — \
+                             the helper puts a heap allocation on the steady-state \
+                             path; take the buffer from the scratch arena or hoist \
+                             it out of the hot body",
+                            item.name,
+                            call.site.name,
+                            wf.path,
+                            w.site.line,
+                            w.site.what,
+                            w.via_text(),
+                        ),
+                    ));
+                }
+            }
         }
     }
 }
 
-impl HotPathAlloc {
-    fn check_body(&self, f: &SourceFile, start: usize, end: usize, out: &mut Vec<Finding>) {
-        for i in start..end {
-            if f.code_in_test(i) {
-                continue;
-            }
-            let (pattern, at) = match f.code_text(i) {
-                // `Vec::new(` — `::` lexes as two `:` tokens.
-                "Vec"
-                    if f.code_text(i + 1) == ":"
-                        && f.code_text(i + 2) == ":"
-                        && f.code_text(i + 3) == "new"
-                        && f.code_text(i + 4) == "(" =>
-                {
-                    ("Vec::new()", i)
-                }
-                "vec" if f.code_text(i + 1) == "!" => ("vec![...]", i),
-                "to_vec" if i > 0 && f.code_text(i - 1) == "." && f.code_text(i + 1) == "(" => {
-                    (".to_vec()", i)
-                }
-                "clone"
-                    if i > 0
-                        && f.code_text(i - 1) == "."
-                        && f.code_text(i + 1) == "("
-                        && f.code_text(i + 2) == ")" =>
-                {
-                    (".clone()", i)
-                }
-                _ => continue,
-            };
-            out.push(Finding::new(
-                self.id(),
-                &f.path,
-                f.code_line(at),
-                format!(
-                    "`{pattern}` in a hot-path forward/backward body: take the buffer \
-                     from the scratch arena (`kernels::with_thread_scratch`) or hoist \
-                     it out of the call; if the allocation is a training cache that \
-                     must own its data, justify it with an allow comment"
-                ),
-            ));
+/// The original per-file scan, verbatim.
+fn check_direct(id: &'static str, f: &SourceFile, out: &mut Vec<Finding>) {
+    if f.scope != Scope::Lib || !PATH_SCOPE.iter().any(|p| f.path.starts_with(p)) {
+        return;
+    }
+    let n = f.code.len();
+    let mut i = 0usize;
+    while i < n {
+        let is_hot_fn = f.code_text(i) == "fn"
+            && f.code_kind(i + 1) == Some(TokKind::Ident)
+            && HOT_FNS.contains(&f.code_text(i + 1))
+            && !f.code_in_test(i);
+        if !is_hot_fn {
+            i += 1;
+            continue;
         }
+        let Some((body_start, body_end)) = fn_body(f, i + 2) else {
+            // Trait signature (`fn forward(...);`) or unbalanced file:
+            // nothing to scan.
+            i += 2;
+            continue;
+        };
+        check_body(id, f, body_start, body_end, out);
+        i = body_end;
+    }
+}
+
+fn check_body(id: &'static str, f: &SourceFile, start: usize, end: usize, out: &mut Vec<Finding>) {
+    for i in start..end {
+        if f.code_in_test(i) {
+            continue;
+        }
+        let (pattern, at) = match f.code_text(i) {
+            // `Vec::new(` — `::` lexes as two `:` tokens.
+            "Vec"
+                if f.code_text(i + 1) == ":"
+                    && f.code_text(i + 2) == ":"
+                    && f.code_text(i + 3) == "new"
+                    && f.code_text(i + 4) == "(" =>
+            {
+                ("Vec::new()", i)
+            }
+            "vec" if f.code_text(i + 1) == "!" => ("vec![...]", i),
+            "to_vec" if i > 0 && f.code_text(i - 1) == "." && f.code_text(i + 1) == "(" => {
+                (".to_vec()", i)
+            }
+            "clone"
+                if i > 0
+                    && f.code_text(i - 1) == "."
+                    && f.code_text(i + 1) == "("
+                    && f.code_text(i + 2) == ")" =>
+            {
+                (".clone()", i)
+            }
+            _ => continue,
+        };
+        out.push(Finding::new(
+            id,
+            &f.path,
+            f.code_line(at),
+            format!(
+                "`{pattern}` in a hot-path forward/backward body: take the buffer \
+                 from the scratch arena (`kernels::with_thread_scratch`) or hoist \
+                 it out of the call; if the allocation is a training cache that \
+                 must own its data, justify it with an allow comment"
+            ),
+        ));
     }
 }
 
@@ -186,11 +257,20 @@ fn fn_body(f: &SourceFile, from: usize) -> Option<(usize, usize)> {
 mod tests {
     use super::*;
 
-    fn run(path: &str, src: &str) -> Vec<u32> {
-        let f = SourceFile::new(path.into(), src.into());
+    fn run_files(files: Vec<(&str, &str)>) -> Vec<(String, u32, String)> {
+        let ws = Workspace::from_sources(files);
         let mut out = Vec::new();
-        HotPathAlloc.check_file(&f, &mut out);
-        out.into_iter().map(|x| x.line).collect()
+        HotPathAlloc.check(&ws, &mut out);
+        out.into_iter()
+            .map(|x| (x.path, x.line, x.message))
+            .collect()
+    }
+
+    fn run(path: &str, src: &str) -> Vec<u32> {
+        run_files(vec![(path, src)])
+            .into_iter()
+            .map(|(_, l, _)| l)
+            .collect()
     }
 
     const HOT: &str = "\
@@ -246,5 +326,38 @@ fn forward(&self) {
 }
 ";
         assert!(run("crates/nn/src/layers/linear.rs", src).is_empty());
+    }
+
+    #[test]
+    fn forward_calling_allocating_helper_is_flagged_at_the_call() {
+        let src = "\
+pub fn forward(x: &[f32]) -> f32 {
+    let s = scale(x);
+    s
+}
+fn scale(x: &[f32]) -> f32 {
+    let owned = x.to_vec();
+    owned[0]
+}
+";
+        let hits = run_files(vec![("crates/kernels/src/norm.rs", src)]);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].1, 2);
+        assert!(hits[0].2.contains("`scale`") && hits[0].2.contains("norm.rs:6"), "{}", hits[0].2);
+    }
+
+    #[test]
+    fn helper_outside_hot_crates_is_not_flagged() {
+        let hits = run_files(vec![
+            (
+                "crates/kernels/src/norm.rs",
+                "pub fn forward(x: &[f32]) -> f32 { cold_error(x) }\n",
+            ),
+            (
+                "crates/core/src/err.rs",
+                "pub fn cold_error(x: &[f32]) -> f32 { let v = x.to_vec(); v[0] }\n",
+            ),
+        ]);
+        assert!(hits.is_empty(), "{hits:?}");
     }
 }

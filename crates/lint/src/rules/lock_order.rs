@@ -1,36 +1,37 @@
 //! `lock-order`: deadlock-freedom and poison-audit hygiene in the
-//! concurrent crates (`crates/serve`, `crates/search`).
+//! concurrent crates (`crates/serve`, `crates/search`) — now interprocedural.
 //!
-//! Two checks:
+//! Three checks:
 //!
-//! 1. **Pairwise acquisition order.** For every function, extract the
-//!    sequence of distinct `Mutex`/`RwLock` receivers it acquires
-//!    (`x.lock()`, `x.read()`, `x.write()` with no arguments). If one
-//!    function acquires `A` before `B` and another acquires `B` before
-//!    `A`, the global lock order is inconsistent — the classic ABBA
-//!    deadlock shape — and both sites are flagged. The extraction is
-//!    lexical (it cannot see releases), so a false positive on
-//!    sequential (released-in-between) acquisitions is possible; that is
-//!    what justified allow-comments are for.
-//!
-//! 2. **Poison audit.** PR 4 established that serve/search locks recover
+//! 1. **Pairwise acquisition order, across calls.** Every function's
+//!    acquisition sequence comes from its phase-1 summary (lock receivers
+//!    qualified by `impl` type, so `self.state` in two `BoundedQueue`
+//!    methods is one lock), recording all ordered pairs. On top of that,
+//!    every call made *while a guard is held* (the summary's hold region
+//!    covers the call site) contributes pairs against everything the callee
+//!    transitively acquires. If any function establishes `A` before `B` and
+//!    another `B` before `A` — directly or through calls — both witnesses
+//!    are flagged: the classic ABBA deadlock shape. Local pair recording is
+//!    deliberately hold-*insensitive* (sequential acquire/release still
+//!    defines an order); call-edge pairs are hold-gated. False positives on
+//!    genuinely release-separated sequences take a justified allow.
+//! 2. **Reentrancy.** A call reachable while `A` is held into a callee
+//!    that (transitively) acquires `A` again is a guaranteed self-deadlock
+//!    with `std::sync::Mutex` — flagged at the call site with the chain.
+//! 3. **Poison audit.** PR 4 established that serve/search locks recover
 //!    from a panicked sibling with `unwrap_or_else(PoisonError::into_inner)`
 //!    after arguing each guarded structure is re-validatable. A bare
 //!    `.lock().unwrap()` / `.read().expect(...)` bypasses that audit and
 //!    re-introduces poison cascades; it is flagged here (on top of
 //!    `panic-in-lib`) even in binaries.
 
-use super::Rule;
+use super::GraphRule;
 use crate::diag::Finding;
-use crate::lexer::TokKind;
 use crate::source::SourceFile;
-use std::collections::BTreeMap;
+use crate::workspace::Workspace;
+use std::collections::{BTreeMap, BTreeSet};
 
-#[derive(Default)]
-pub struct LockOrder {
-    /// (first-receiver, second-receiver) → earliest witness site.
-    pairs: BTreeMap<(String, String), Witness>,
-}
+pub struct LockOrder;
 
 #[derive(Clone)]
 struct Witness {
@@ -44,35 +45,98 @@ const CRATE_ALLOWLIST: &[&str] = &["crates/serve/", "crates/search/"];
 
 const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write"];
 
-impl Rule for LockOrder {
+impl GraphRule for LockOrder {
     fn id(&self) -> &'static str {
         "lock-order"
     }
 
     fn describe(&self) -> &'static str {
-        "consistent pairwise lock acquisition order; no bare lock().unwrap() past the poison audit"
+        "consistent lock order across call chains; no reentrant acquisition; no bare lock().unwrap() past the poison audit"
     }
 
-    fn check_file(&mut self, f: &SourceFile, out: &mut Vec<Finding>) {
-        if !CRATE_ALLOWLIST.iter().any(|p| f.path.starts_with(p)) {
-            return;
-        }
-        let mut i = 0usize;
-        while i < f.code.len() {
-            if f.code_text(i) == "fn"
-                && f.code_kind(i + 1) == Some(TokKind::Ident)
-                && !f.code_in_test(i)
-            {
-                i = self.check_fn(f, i, out);
-            } else {
-                i += 1;
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for f in &ws.files {
+            if in_scope(f) {
+                poison_audit(self.id(), f, out);
             }
         }
-    }
-
-    fn finish(&mut self, out: &mut Vec<Finding>) {
-        for ((a, b), w) in &self.pairs {
-            let Some(rev) = self.pairs.get(&(b.clone(), a.clone())) else {
+        // (first, second) → earliest witness establishing that order.
+        let mut pairs: BTreeMap<(String, String), Witness> = BTreeMap::new();
+        let mut reentrant: BTreeSet<(String, u32, String)> = BTreeSet::new();
+        for (i, (file_ix, item)) in ws.fns.iter().enumerate() {
+            let f = &ws.files[*file_ix];
+            if !in_scope(f) || item.in_test {
+                continue;
+            }
+            let locks = &ws.locals[i].locks;
+            // Local ordered pairs, as the per-file engine recorded them.
+            let mut ordered: Vec<&str> = Vec::new();
+            for lk in locks {
+                if ordered.contains(&lk.name.as_str()) {
+                    continue;
+                }
+                for &prev in &ordered {
+                    pairs
+                        .entry((prev.to_string(), lk.name.clone()))
+                        .or_insert_with(|| Witness {
+                            path: f.path.clone(),
+                            func: item.name.clone(),
+                            line: lk.line,
+                        });
+                }
+                ordered.push(&lk.name);
+            }
+            // Call-edge pairs: calls made while a guard is held order the
+            // held lock before everything the callee transitively acquires.
+            for call in &ws.calls[i] {
+                let held: Vec<_> = locks
+                    .iter()
+                    .filter(|lk| lk.hold.0 < call.site.ix && call.site.ix < lk.hold.1)
+                    .collect();
+                if held.is_empty() {
+                    continue;
+                }
+                for &callee in &call.callees {
+                    if callee == i {
+                        continue;
+                    }
+                    for (acq, w) in &ws.props[callee].acquires {
+                        for lk in &held {
+                            if *acq == lk.name {
+                                if reentrant.insert((f.path.clone(), call.site.line, acq.clone()))
+                                {
+                                    out.push(Finding::new(
+                                        self.id(),
+                                        &f.path,
+                                        call.site.line,
+                                        format!(
+                                            "`{}` calls `{}` while holding `{}`, and the \
+                                             callee acquires `{}` again{} — guaranteed \
+                                             self-deadlock with std::sync::Mutex",
+                                            item.name,
+                                            call.site.name,
+                                            lk.name,
+                                            acq,
+                                            w.via_text(),
+                                        ),
+                                    ));
+                                }
+                            } else {
+                                pairs
+                                    .entry((lk.name.clone(), acq.clone()))
+                                    .or_insert_with(|| Witness {
+                                        path: f.path.clone(),
+                                        func: format!("{} (via `{}`)", item.name, call.site.name),
+                                        line: call.site.line,
+                                    });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for ((a, b), w) in &pairs {
+            let Some(rev) = pairs.get(&(b.clone(), a.clone())) else {
                 continue;
             };
             // Report each conflicting pair once, from the lexicographically
@@ -97,131 +161,64 @@ impl Rule for LockOrder {
     }
 }
 
-impl LockOrder {
-    /// Scan one `fn` starting at code index `i` (pointing at `fn`); record
-    /// its acquisition order, flag poison-audit bypasses, and return the
-    /// code index just past the function body.
-    fn check_fn(&mut self, f: &SourceFile, i: usize, out: &mut Vec<Finding>) -> usize {
-        let func = f.code_text(i + 1).to_string();
-        // Find the body's opening brace (a `;` first means a trait method
-        // signature — no body).
-        let n = f.code.len();
-        let mut j = i + 2;
-        while j < n && !matches!(f.code_text(j), "{" | ";") {
-            j += 1;
-        }
-        if j >= n || f.code_text(j) == ";" {
-            return j + 1;
-        }
-        let body_start = j;
-        let mut depth = 0i32;
-        let mut acquired: Vec<String> = Vec::new();
-        while j < n {
-            match f.code_text(j) {
-                "{" => depth += 1,
-                "}" => {
-                    depth -= 1;
-                    if depth == 0 {
-                        break;
-                    }
-                }
-                m if ACQUIRE_METHODS.contains(&m)
-                    && f.code_text(j.wrapping_sub(1)) == "."
-                    && j > body_start
-                    && f.code_text(j + 1) == "("
-                    && f.code_text(j + 2) == ")" =>
-                {
-                    let line = f.code_line(j);
-                    // Poison-audit bypass: `.lock().unwrap()` / `.expect(`.
-                    if f.code_text(j + 3) == "."
-                        && matches!(f.code_text(j + 4), "unwrap" | "expect")
-                        && f.code_text(j + 5) == "("
-                    {
-                        out.push(Finding::new(
-                            self.id(),
-                            &f.path,
-                            f.code_line(j + 4),
-                            format!(
-                                "`.{m}().{}(...)` bypasses the PoisonError::into_inner \
-                                 audit: a panicked sibling poisons this lock and the \
-                                 {} cascades; recover with \
-                                 `unwrap_or_else(PoisonError::into_inner)` after checking \
-                                 the guarded state is re-validatable",
-                                f.code_text(j + 4),
-                                f.code_text(j + 4),
-                            ),
-                        ));
-                    }
-                    if let Some(recv) = receiver_path(f, j.wrapping_sub(1)) {
-                        if !acquired.contains(&recv) {
-                            // Record *all* ordered pairs (not just adjacent
-                            // ones) so a→b→c also witnesses a-before-c.
-                            for prev in &acquired {
-                                self.pairs
-                                    .entry((prev.clone(), recv.clone()))
-                                    .or_insert(Witness {
-                                        path: f.path.clone(),
-                                        func: func.clone(),
-                                        line,
-                                    });
-                            }
-                            acquired.push(recv);
-                        }
-                    }
-                }
-                _ => {}
-            }
-            j += 1;
-        }
-        j + 1
-    }
+fn in_scope(f: &SourceFile) -> bool {
+    CRATE_ALLOWLIST.iter().any(|p| f.path.starts_with(p))
 }
 
-/// The dotted receiver path ending at the `.` at code index `dot`:
-/// `self.state.lock()` → `self.state`; `shard.lock()` → `shard`.
-/// Returns `None` when the receiver is a call or index expression
-/// (`shard_for(k).lock()`) — those are excluded from order analysis.
-fn receiver_path(f: &SourceFile, dot: usize) -> Option<String> {
-    let mut parts: Vec<String> = Vec::new();
-    let mut j = dot; // points at the `.` before the method name
-    while j > 0 {
-        let prev = j - 1;
-        if f.code_kind(prev) == Some(TokKind::Ident) {
-            parts.push(f.code_text(prev).to_string());
-            if prev > 0 && f.code_text(prev - 1) == "." {
-                j = prev - 1;
-                continue;
-            }
+/// Flag `.lock().unwrap()` / `.read().expect(...)` at any non-test token —
+/// the textual check the per-file engine ran, unchanged.
+fn poison_audit(id: &'static str, f: &SourceFile, out: &mut Vec<Finding>) {
+    for j in 0..f.code.len() {
+        let m = f.code_text(j);
+        if !ACQUIRE_METHODS.contains(&m)
+            || j == 0
+            || f.code_text(j - 1) != "."
+            || f.code_text(j + 1) != "("
+            || f.code_text(j + 2) != ")"
+            || f.code_in_test(j)
+        {
+            continue;
         }
-        break;
+        if f.code_text(j + 3) == "."
+            && matches!(f.code_text(j + 4), "unwrap" | "expect")
+            && f.code_text(j + 5) == "("
+        {
+            out.push(Finding::new(
+                id,
+                &f.path,
+                f.code_line(j + 4),
+                format!(
+                    "`.{m}().{}(...)` bypasses the PoisonError::into_inner \
+                     audit: a panicked sibling poisons this lock and the \
+                     {} cascades; recover with \
+                     `unwrap_or_else(PoisonError::into_inner)` after checking \
+                     the guarded state is re-validatable",
+                    f.code_text(j + 4),
+                    f.code_text(j + 4),
+                ),
+            ));
+        }
     }
-    if parts.is_empty() {
-        return None;
-    }
-    parts.reverse();
-    Some(parts.join("."))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn run(files: &[(&str, &str)]) -> Vec<(String, u32, String)> {
-        let mut rule = LockOrder::default();
+    fn run(files: Vec<(&str, &str)>) -> Vec<(String, u32, String)> {
+        let ws = Workspace::from_sources(files);
         let mut out = Vec::new();
-        for (path, src) in files {
-            let f = SourceFile::new(path.to_string(), src.to_string());
-            rule.check_file(&f, &mut out);
-        }
-        rule.finish(&mut out);
-        out.into_iter().map(|x| (x.path, x.line, x.message)).collect()
+        LockOrder.check(&ws, &mut out);
+        out.into_iter()
+            .map(|x| (x.path, x.line, x.message))
+            .collect()
     }
 
     #[test]
     fn abba_order_is_flagged_at_both_sites() {
         let ab = "fn f(&self) {\n let a = self.a.lock();\n let b = self.b.lock();\n}\n";
         let ba = "fn g(&self) {\n let b = self.b.lock();\n let a = self.a.lock();\n}\n";
-        let hits = run(&[
+        let hits = run(vec![
             ("crates/serve/src/x.rs", ab),
             ("crates/search/src/y.rs", ba),
         ]);
@@ -233,9 +230,9 @@ mod tests {
 
     #[test]
     fn consistent_order_and_single_locks_are_clean() {
-        let ab = "fn f(&self) { self.a.lock(); self.b.lock(); }\n";
-        let ab2 = "fn g(&self) { self.a.lock(); self.b.lock(); }\nfn h(&self) { self.b.lock(); }\n";
-        assert!(run(&[
+        let ab = "fn f(&self) { let a = self.a.lock(); let b = self.b.lock(); }\n";
+        let ab2 = "fn g(&self) { let a = self.a.lock(); let b = self.b.lock(); }\nfn h(&self) { self.b.lock(); }\n";
+        assert!(run(vec![
             ("crates/serve/src/x.rs", ab),
             ("crates/serve/src/y.rs", ab2),
         ])
@@ -251,7 +248,7 @@ fn f(&self) {
     self.log.read().expect(\"poisoned\");
 }
 ";
-        let hits = run(&[("crates/serve/src/x.rs", src)]);
+        let hits = run(vec![("crates/serve/src/x.rs", src)]);
         assert_eq!(
             hits.iter().map(|(_, l, _)| *l).collect::<Vec<_>>(),
             vec![2, 4]
@@ -261,12 +258,73 @@ fn f(&self) {
     #[test]
     fn io_read_write_with_args_are_not_acquisitions() {
         let src = "fn f(&self) { file.read(&mut buf); sock.write(bytes); }\n";
-        assert!(run(&[("crates/serve/src/x.rs", src)]).is_empty());
+        assert!(run(vec![("crates/serve/src/x.rs", src)]).is_empty());
     }
 
     #[test]
     fn other_crates_are_out_of_scope() {
         let src = "fn f(&self) { self.state.lock().unwrap(); }\n";
-        assert!(run(&[("crates/kg/src/x.rs", src)]).is_empty());
+        assert!(run(vec![("crates/kg/src/x.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn abba_through_a_call_chain_is_flagged() {
+        // f holds A and calls g; g locks B. h locks B then A. The per-file
+        // engine saw no pair in f at all — this is the cross-function case.
+        let src = "\
+impl S {
+    fn f(&self) {
+        let a = self.a.lock();
+        self.g();
+    }
+    fn g(&self) {
+        let b = self.b.lock();
+    }
+    fn h(&self) {
+        let b = self.b.lock();
+        let a = self.a.lock();
+    }
+}
+";
+        let hits = run(vec![("crates/serve/src/x.rs", src)]);
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert!(hits.iter().any(|(_, l, m)| *l == 4 && m.contains("via `g`")), "{hits:?}");
+        assert!(hits.iter().any(|(_, l, _)| *l == 11));
+    }
+
+    #[test]
+    fn reentrant_acquisition_through_helper_is_flagged() {
+        let src = "\
+impl S {
+    fn outer(&self) {
+        let g = self.state.lock();
+        self.depth();
+    }
+    fn depth(&self) -> usize {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner).len()
+    }
+}
+";
+        let hits = run(vec![("crates/serve/src/x.rs", src)]);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].1, 4);
+        assert!(hits[0].2.contains("self-deadlock"), "{}", hits[0].2);
+    }
+
+    #[test]
+    fn call_after_guard_drop_is_clean() {
+        let src = "\
+impl S {
+    fn outer(&self) {
+        let g = self.state.lock();
+        drop(g);
+        self.depth();
+    }
+    fn depth(&self) -> usize {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner).len()
+    }
+}
+";
+        assert!(run(vec![("crates/serve/src/x.rs", src)]).is_empty());
     }
 }

@@ -6,7 +6,10 @@
 //! offending pattern. See DESIGN.md §11 for the catalog and the policy on
 //! adding rules.
 
+mod blocking_under_lock;
 mod checkpoint_atomicity;
+mod deadline_drop;
+mod epoch_hold;
 mod hot_path_alloc;
 mod lock_order;
 mod model_publish_atomicity;
@@ -17,7 +20,10 @@ mod single_percentile;
 mod unbounded_channel;
 mod unsafe_safety;
 
+pub use blocking_under_lock::BlockingUnderLock;
 pub use checkpoint_atomicity::CheckpointAtomicity;
+pub use deadline_drop::DeadlineDrop;
+pub use epoch_hold::EpochHold;
 pub use hot_path_alloc::HotPathAlloc;
 pub use lock_order::LockOrder;
 pub use model_publish_atomicity::ModelPublishAtomicity;
@@ -30,9 +36,10 @@ pub use unsafe_safety::UnsafeSafety;
 
 use crate::diag::Finding;
 use crate::source::SourceFile;
+use crate::workspace::Workspace;
 
-/// A lint rule. `check_file` is called once per file; `finish` once after
-/// all files (for cross-file rules such as lock ordering).
+/// A per-file lint rule. `check_file` is called once per file; `finish`
+/// once after all files.
 pub trait Rule {
     fn id(&self) -> &'static str;
     /// One-line description for `--list-rules`.
@@ -41,19 +48,41 @@ pub trait Rule {
     fn finish(&mut self, _out: &mut Vec<Finding>) {}
 }
 
-/// The full rule set, fresh state per lint run.
+/// An interprocedural rule: runs once over the assembled phase-1
+/// [`Workspace`] (item model, call graph, fixpoint-propagated summaries).
+///
+/// Ported rules (`lock-order`, `panic-in-lib`, `hot-path-alloc`) keep their
+/// original direct token scans verbatim — everything the per-file engine
+/// found stays findable, and allow-comment accounting at direct sites is
+/// unchanged — and add call-graph reasoning on top.
+pub trait GraphRule {
+    fn id(&self) -> &'static str;
+    fn describe(&self) -> &'static str;
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>);
+}
+
+/// The per-file rule set, fresh state per lint run.
 pub fn all_rules() -> Vec<Box<dyn Rule>> {
     vec![
-        Box::new(PanicInLib),
         Box::new(Nondeterminism),
         Box::new(CheckpointAtomicity),
         Box::new(SegmentAtomicity),
         Box::new(ModelPublishAtomicity),
         Box::new(SinglePercentile),
-        Box::new(LockOrder::default()),
         Box::new(UnboundedChannel),
         Box::new(UnsafeSafety),
+    ]
+}
+
+/// The interprocedural rule set.
+pub fn graph_rules() -> Vec<Box<dyn GraphRule>> {
+    vec![
+        Box::new(PanicInLib),
+        Box::new(LockOrder),
         Box::new(HotPathAlloc),
+        Box::new(BlockingUnderLock),
+        Box::new(DeadlineDrop),
+        Box::new(EpochHold),
     ]
 }
 

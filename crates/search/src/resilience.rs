@@ -724,16 +724,16 @@ impl<B: KgBackend> KgBackend for ResilientBackend<B> {
         top_k: usize,
         deadline: Deadline,
     ) -> Result<SearchOutcome, RetrievalError> {
-        let mut state = self.lock_state();
-        let state = &mut *state;
-        state.queries += 1;
-        if let Some(budget) = state.budget.as_mut() {
+        let mut guard = self.lock_state();
+        guard.queries += 1;
+        if let Some(budget) = guard.budget.as_mut() {
             budget.on_query();
         }
-        let query_index = state.queries - 1;
-        let started_us = state.clock_us;
+        let query_index = guard.queries - 1;
+        let started_us = guard.clock_us;
         let mut attempt: u32 = 0;
         loop {
+            let state = &mut *guard;
             let now = state.clock_us;
             // kglink-lint: allow(panic-in-lib) — same structural invariant
             // as record_breaker_outcome: the breaker is always installed.
@@ -766,7 +766,16 @@ impl<B: KgBackend> KgBackend for ResilientBackend<B> {
             let remaining_budget = deadline.budget_us().saturating_sub(spent);
             let attempt_deadline =
                 Deadline::from_us(self.config.attempt_budget_us.min(remaining_budget));
-            match self.inner.search_entities(query, top_k, attempt_deadline) {
+            // Release the state lock across the retrieval: the inner
+            // backend may stall for the whole attempt budget, and sibling
+            // callers must be able to admit, record, and trip the breaker
+            // meanwhile. All bookkeeping below re-reads state after
+            // re-acquiring.
+            drop(guard);
+            let result = self.inner.search_entities(query, top_k, attempt_deadline);
+            guard = self.lock_state();
+            let state = &mut *guard;
+            match result {
                 Ok(mut outcome) => {
                     state.clock_us += outcome.latency_us;
                     self.record_breaker_outcome(state, true);

@@ -65,6 +65,9 @@ impl EntitySearcher {
 /// local BM25 lookup cannot time out or drop a shard. Fault behaviour is
 /// layered on by the wrappers in [`crate::resilience`].
 impl KgBackend for EntitySearcher {
+    // kglink-lint: allow(deadline-drop) — the in-process BM25 lookup is
+    // synchronous and zero-latency by construction; there is no wait for a
+    // deadline to bound, which is why the parameter is `_deadline`.
     fn search_entities(
         &self,
         query: &str,

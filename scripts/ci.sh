@@ -42,10 +42,33 @@ cargo run --release -q -p kglink-lint -- --self-test
 
 echo "== kglink-lint --workspace --deny-all =="
 # Workspace invariant gate: panic-freedom, determinism, atomic checkpoint
-# writes, single-source percentile math, lock order, unsafe hygiene. This
-# replaces the old atomic-checkpoint-write and single-percentile grep gates
-# (same invariants, now rename-robust and suppression-audited — see
-# DESIGN.md §11). Findings are exported to results/lint.jsonl.
+# writes, single-source percentile math, lock order, unsafe hygiene, plus
+# the interprocedural rules (blocking-under-lock, deadline-drop,
+# epoch-hold) over the workspace call graph. This replaces the old
+# atomic-checkpoint-write and single-percentile grep gates (same
+# invariants, now rename-robust and suppression-audited — see DESIGN.md
+# §11). Findings are exported to results/lint.jsonl.
 cargo run --release -q -p kglink-lint -- --workspace --deny-all --json
+
+# Opt-in ThreadSanitizer stage: dynamic cross-check of the same lock/wait
+# discipline the interprocedural lint rules reason about statically. TSan
+# needs nightly (-Zsanitizer + -Zbuild-std), so the stage is gated on
+# KGLINK_TSAN=1 and skipped with a visible notice when nightly (or its
+# rust-src component) is unavailable — it must never silently pass.
+if [[ "${KGLINK_TSAN:-0}" == "1" ]]; then
+    if rustup run nightly rustc --version >/dev/null 2>&1 \
+        && rustup component list --toolchain nightly 2>/dev/null \
+            | grep -q '^rust-src (installed)'; then
+        echo "== ThreadSanitizer: crates/serve concurrency tests (nightly) =="
+        host="$(rustc -vV | sed -n 's/^host: //p')"
+        RUSTFLAGS="-Zsanitizer=thread" RUSTDOCFLAGS="-Zsanitizer=thread" \
+            cargo +nightly test -Zbuild-std --target "$host" \
+            --target-dir target/tsan -p kglink-serve
+    else
+        echo "== ThreadSanitizer: SKIPPED (nightly toolchain with rust-src not available) =="
+    fi
+else
+    echo "== ThreadSanitizer: off (set KGLINK_TSAN=1 to enable) =="
+fi
 
 echo "CI OK"
